@@ -1,0 +1,103 @@
+// Ablation: which telemetry families earn the accuracy?
+//
+// Trains the random forest on (a) the full Table-1 feature set, (b) host
+// metrics only (CPU + memory zeroed-network), (c) network metrics only,
+// and (d) job configuration only, then evaluates Top-1/Top-2 against the
+// same counterfactual truth. Also includes the two one-signal heuristics
+// (pick least-loaded / pick lowest-RTT) as non-learning baselines.
+//
+// Because tree models never split on a column that was constant during
+// training, zeroing a feature group in the training corpus is a faithful
+// inference-time ablation as well.
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "core/features.hpp"
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/evaluate.hpp"
+#include "exp/scenario.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Returns a copy of `data` with the named feature columns zeroed.
+lts::ml::Dataset mask_features(const lts::ml::Dataset& data,
+                               const std::set<std::string>& keep_prefixes) {
+  using namespace lts;
+  const auto& names = data.feature_names();
+  std::vector<bool> keep(names.size(), false);
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    for (const auto& prefix : keep_prefixes) {
+      if (names[j].rfind(prefix, 0) == 0) keep[j] = true;
+    }
+  }
+  ml::Matrix x = data.x();
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      if (!keep[j]) x(i, j) = 0.0;
+    }
+  }
+  std::vector<double> y = data.y();
+  return ml::Dataset(std::move(x), std::move(y), names);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lts;
+  const auto matrix = exp::paper_scenario_matrix();
+  exp::CollectorOptions collect;
+  collect.repeats = 10;
+  collect.base_seed = 12000;
+  std::printf("Collecting the 3600-sample corpus...\n");
+  const CsvTable log = exp::collect_training_data(matrix, collect);
+  const ml::Dataset full = core::Trainer::dataset_from_log(log);
+
+  // Feature-name prefixes per group. Job-config features are always kept:
+  // without them the model cannot even normalize across workloads.
+  const std::set<std::string> job = {"app_", "input_", "executors",
+                                     "executor_", "shuffle_"};
+  auto with_job = [&](std::set<std::string> extra) {
+    extra.insert(job.begin(), job.end());
+    return extra;
+  };
+
+  struct Variant {
+    std::string label;
+    ml::Dataset data;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full (Table 1)", full});
+  variants.push_back(
+      {"host-only (cpu+mem)", mask_features(full, with_job({"cpu_", "mem_"}))});
+  variants.push_back({"network-only (rtt+tx/rx)",
+                      mask_features(full, with_job({"rtt_", "tx_", "rx_"}))});
+  variants.push_back({"config-only", mask_features(full, job)});
+
+  std::vector<std::pair<std::string, std::shared_ptr<const ml::Regressor>>>
+      models;
+  for (auto& v : variants) {
+    models.emplace_back(v.label, std::shared_ptr<const ml::Regressor>(
+                                     core::Trainer::train("random_forest",
+                                                          v.data)));
+  }
+
+  exp::EvalOptions eval;
+  eval.num_scenarios = 80;
+  eval.base_seed = 880000;
+  eval.heuristics = {"least_cpu", "least_rtt"};
+  const auto result = exp::evaluate_methods(models, matrix, eval);
+
+  AsciiTable table({"Variant", "Top-1", "Top-2", "Regret (s)"});
+  for (const auto& acc : result.accuracy) {
+    table.add_row_numeric(acc.method, {acc.top1, acc.top2, acc.mean_regret},
+                          3);
+  }
+  std::printf("%s", table
+                        .render("Feature ablation (random forest, 80 "
+                                "scenarios)")
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Deployability microbenchmarks (§8 future work: "Quantifying deployability
+// and retraining costs"): how much wall-clock the scheduling pipeline and
+// the offline training loop actually cost.
+//
+//   - feature construction per candidate node
+//   - model inference per candidate (all three families)
+//   - the full prediction-and-ranking decision for a 6-node cluster
+//   - offline retraining on the 3600-sample corpus
+//   - model (de)serialization
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+
+namespace {
+
+using namespace lts;
+
+struct Fixture {
+  CsvTable log;
+  ml::Dataset data;
+  std::map<std::string, std::shared_ptr<const ml::Regressor>> models;
+  std::unique_ptr<exp::SimEnv> env;
+  telemetry::ClusterSnapshot snapshot;
+  spark::JobConfig job;
+
+  Fixture() {
+    auto matrix = exp::paper_scenario_matrix();
+    matrix.resize(12);  // enough rows for stable models, fast setup
+    exp::CollectorOptions collect;
+    collect.repeats = 3;
+    collect.base_seed = 31;
+    log = exp::collect_training_data(matrix, collect);
+    data = core::Trainer::dataset_from_log(log);
+    for (const std::string name : {"linear", "xgboost", "random_forest"}) {
+      models[name] = std::shared_ptr<const ml::Regressor>(
+          core::Trainer::train(name, data));
+    }
+    env = std::make_unique<exp::SimEnv>(118);
+    env->warmup();
+    snapshot = env->snapshot();
+    job.app = spark::AppType::kSort;
+    job.input_records = 1000000;
+    job.executors = 4;
+  }
+
+  static Fixture& get() {
+    static Fixture fixture;
+    return fixture;
+  }
+};
+
+void BM_FeatureConstruction(benchmark::State& state) {
+  auto& f = Fixture::get();
+  for (auto _ : state) {
+    for (const auto& node : f.snapshot.nodes) {
+      benchmark::DoNotOptimize(
+          core::FeatureConstructor::build(node, f.job));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.snapshot.nodes.size()));
+}
+BENCHMARK(BM_FeatureConstruction);
+
+void BM_Inference(benchmark::State& state, const std::string& model_name) {
+  auto& f = Fixture::get();
+  const auto& model = *f.models.at(model_name);
+  const auto features =
+      core::FeatureConstructor::build(f.snapshot.nodes[0], f.job);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_row(features));
+  }
+}
+BENCHMARK_CAPTURE(BM_Inference, linear, "linear");
+BENCHMARK_CAPTURE(BM_Inference, xgboost, "xgboost");
+BENCHMARK_CAPTURE(BM_Inference, random_forest, "random_forest");
+
+void BM_FullSchedulingDecision(benchmark::State& state) {
+  auto& f = Fixture::get();
+  core::LtsScheduler scheduler(
+      core::TelemetryFetcher(f.env->tsdb(), f.env->node_names()),
+      f.models.at("random_forest"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.schedule(f.job, f.env->engine().now()));
+  }
+}
+BENCHMARK(BM_FullSchedulingDecision);
+
+void BM_KubeDefaultDecision(benchmark::State& state) {
+  auto& f = Fixture::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.env->kube_ranking(f.job));
+  }
+}
+BENCHMARK(BM_KubeDefaultDecision);
+
+void BM_Retrain(benchmark::State& state, const std::string& model_name) {
+  auto& f = Fixture::get();
+  for (auto _ : state) {
+    auto model = core::Trainer::train(model_name, f.data);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.data.size()));
+}
+BENCHMARK_CAPTURE(BM_Retrain, linear, "linear")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Retrain, xgboost, "xgboost")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Retrain, random_forest, "random_forest")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModelSerialize(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const auto& model = *f.models.at("random_forest");
+  std::string out;
+  for (auto _ : state) {
+    out = ml::model_to_json(model).dump();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_ModelSerialize)->Unit(benchmark::kMillisecond);
+
+void BM_ModelDeserialize(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const std::string text = ml::model_to_json(*f.models.at("random_forest")).dump();
+  for (auto _ : state) {
+    auto model = ml::model_from_json(Json::parse(text));
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ModelDeserialize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// End-to-end benefit: a stream of jobs scheduled live.
+//
+// Top-k accuracy (Table 4) measures decision quality in isolation. This
+// experiment measures what the decisions are worth operationally: the same
+// Poisson arrival stream of jobs runs through one living cluster three
+// times — placed by the supervised scheduler, by the default Kubernetes
+// scheduler, and randomly — and we report mean/p90 job completion time.
+// Concurrent jobs contend with each other, so good placement compounds.
+#include <cstdio>
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/scenario.hpp"
+#include "exp/stream.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lts;
+  const auto matrix = exp::paper_scenario_matrix();
+  exp::CollectorOptions collect;
+  collect.repeats = 5;
+  collect.base_seed = 12000;
+  std::printf("Training the scheduler model (1800 samples)...\n");
+  const CsvTable log = exp::collect_training_data(matrix, collect);
+  const auto model = std::shared_ptr<const ml::Regressor>(
+      core::Trainer::train("random_forest",
+                           core::Trainer::dataset_from_log(log)));
+
+  // A second model trained on a distribution-matched corpus: each training
+  // environment runs an unrecorded job first, so the telemetry windows
+  // carry residual traffic the way a production queue's do.
+  std::printf("Training the stream-matched model (residual-job corpus)...\n");
+  exp::CollectorOptions stream_collect = collect;
+  stream_collect.residual_job = true;
+  stream_collect.base_seed = 15000;
+  const CsvTable stream_log = exp::collect_training_data(matrix,
+                                                         stream_collect);
+  const auto stream_model = std::shared_ptr<const ml::Regressor>(
+      core::Trainer::train("random_forest",
+                           core::Trainer::dataset_from_log(stream_log)));
+
+  // Two regimes: light load (jobs mostly sequential — each decision is an
+  // isolated Table-4-style choice) and heavy load (jobs overlap — the
+  // scheduler's own placements feed back through the lagging telemetry).
+  for (const double interarrival : {35.0, 12.0}) {
+    exp::StreamOptions options;
+    options.num_jobs = 40;
+    options.mean_interarrival = interarrival;
+    options.seed = 33000;
+
+    AsciiTable table({"Scheduler", "mean (s)", "p50 (s)", "p90 (s)",
+                      "makespan (s)"});
+    struct Row {
+      const char* label;
+      exp::StreamPolicy policy;
+      std::shared_ptr<const ml::Regressor> model;
+    };
+    const Row rows[] = {
+        {"LTS (batch-trained)", exp::StreamPolicy::kModel, model},
+        {"LTS (stream-matched)", exp::StreamPolicy::kModel, stream_model},
+        {"Kubernetes default", exp::StreamPolicy::kKubeDefault, nullptr},
+        {"Random", exp::StreamPolicy::kRandom, nullptr},
+    };
+    for (const auto& row : rows) {
+      const auto result =
+          exp::run_job_stream(row.policy, row.model, matrix, options);
+      std::vector<double> durations;
+      for (const auto& job : result.jobs) durations.push_back(job.duration);
+      table.add_row_numeric(row.label,
+                            {mean(durations), percentile(durations, 50),
+                             percentile(durations, 90), result.makespan},
+                            1);
+    }
+    std::printf("%s\n",
+                table
+                    .render(strformat(
+                        "End-to-end stream: 40 jobs, mean interarrival %.0fs",
+                        interarrival))
+                    .c_str());
+  }
+  std::printf(
+      "Deployability caveat (found by this reproduction): under heavy\n"
+      "overlap the pure predicted-duration policy can herd onto the\n"
+      "predicted-best node faster than the telemetry (30s windows) reflects\n"
+      "its own placements, eroding the isolated-decision advantage that\n"
+      "Table 4 measures.\n");
+  return 0;
+}

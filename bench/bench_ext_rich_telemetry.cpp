@@ -1,0 +1,65 @@
+// §8 extension: richer network telemetry integration.
+//
+// The paper's future work proposes link-level utilization, queueing-delay
+// estimates and passive flow statistics as additional features. This bench
+// measures what they are worth: the random forest is trained once on the
+// paper's Table-1 features and once on Table-1 + the rich set, from the
+// same 3600-sample corpus, and both are evaluated on the same scenarios.
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/evaluate.hpp"
+#include "exp/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lts;
+  const auto matrix = exp::paper_scenario_matrix();
+  exp::CollectorOptions collect;
+  collect.repeats = 10;
+  collect.base_seed = 12000;
+  std::printf("Collecting the 3600-sample corpus...\n");
+  const CsvTable log = exp::collect_training_data(matrix, collect);
+
+  const ml::Dataset table1 =
+      core::Trainer::dataset_from_log(log, core::FeatureSet::kTable1);
+  const ml::Dataset rich =
+      core::Trainer::dataset_from_log(log, core::FeatureSet::kRich);
+  std::printf("Feature widths: Table-1 = %zu, rich = %zu\n",
+              table1.num_features(), rich.num_features());
+
+  std::vector<exp::MethodUnderTest> methods;
+  methods.push_back({"rf_table1",
+                     std::shared_ptr<const ml::Regressor>(
+                         core::Trainer::train("random_forest", table1)),
+                     core::FeatureSet::kTable1});
+  methods.push_back({"rf_rich",
+                     std::shared_ptr<const ml::Regressor>(
+                         core::Trainer::train("random_forest", rich)),
+                     core::FeatureSet::kRich});
+  methods.push_back({"xgb_table1",
+                     std::shared_ptr<const ml::Regressor>(
+                         core::Trainer::train("xgboost", table1)),
+                     core::FeatureSet::kTable1});
+  methods.push_back({"xgb_rich",
+                     std::shared_ptr<const ml::Regressor>(
+                         core::Trainer::train("xgboost", rich)),
+                     core::FeatureSet::kRich});
+
+  exp::EvalOptions eval;
+  eval.num_scenarios = 100;
+  eval.base_seed = 774000;
+  const auto result = exp::evaluate_methods(methods, matrix, eval);
+
+  AsciiTable table({"Method", "Top-1", "Top-2", "Regret (s)"});
+  for (const auto& acc : result.accuracy) {
+    table.add_row_numeric(acc.method, {acc.top1, acc.top2, acc.mean_regret},
+                          3);
+  }
+  std::printf("%s", table
+                        .render("Rich telemetry extension (100 scenarios)")
+                        .c_str());
+  return 0;
+}

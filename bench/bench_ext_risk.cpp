@@ -1,0 +1,63 @@
+// Extension: uncertainty-aware (risk-averse) placement.
+//
+// A random forest exposes model uncertainty for free (the spread of its
+// trees' predictions). Ranking nodes by mean + k*stddev avoids placements
+// the model is unsure about. This bench sweeps k and reports Top-1/Top-2
+// plus mean and tail regret — the pessimistic policy should trade a little
+// Top-1 for a flatter regret tail.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/evaluate.hpp"
+#include "exp/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lts;
+  const auto matrix = exp::paper_scenario_matrix();
+  exp::CollectorOptions collect;
+  collect.repeats = 10;
+  collect.base_seed = 12000;
+  std::printf("Collecting the 3600-sample corpus...\n");
+  const CsvTable log = exp::collect_training_data(matrix, collect);
+  const auto model = std::shared_ptr<const ml::Regressor>(
+      core::Trainer::train("random_forest",
+                           core::Trainer::dataset_from_log(log)));
+
+  std::vector<exp::MethodUnderTest> methods;
+  for (const double k : {0.0, 0.5, 1.0, 2.0}) {
+    methods.push_back({strformat("rf_k%.1f", k), model,
+                       core::FeatureSet::kTable1, k});
+  }
+  exp::EvalOptions eval;
+  eval.num_scenarios = 100;
+  eval.base_seed = 778000;
+  const auto result = exp::evaluate_methods(methods, matrix, eval);
+
+  // Tail regret per method, from the per-scenario outcomes.
+  AsciiTable table({"Policy", "Top-1", "Top-2", "mean regret (s)",
+                    "p90 regret (s)"});
+  for (const auto& acc : result.accuracy) {
+    std::vector<double> regrets;
+    for (const auto& outcome : result.outcomes) {
+      const auto it = outcome.rankings.find(acc.method);
+      if (it == outcome.rankings.end()) continue;
+      regrets.push_back(outcome.node_durations[it->second.front()] -
+                        outcome.node_durations[outcome.fastest_node]);
+    }
+    const double p90 =
+        regrets.empty() ? 0.0 : percentile(regrets, 90);
+    table.add_row_numeric(acc.method,
+                          {acc.top1, acc.top2, acc.mean_regret, p90}, 3);
+  }
+  std::printf("%s", table
+                        .render("Risk-averse placement sweep "
+                                "(rank by mean + k*stddev, 100 scenarios)")
+                        .c_str());
+  return 0;
+}

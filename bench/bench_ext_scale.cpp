@@ -1,0 +1,84 @@
+// §8 extension: evaluation at larger scale.
+//
+// Sweeps the cluster size (3 sites x 2 nodes up to 6 sites x 4 nodes) and
+// reports (a) Top-1/Top-2 accuracy of a random forest trained at that
+// scale and (b) the scheduling decision latency, which grows linearly in
+// the candidate count. Larger clusters make Top-1 strictly harder (more
+// candidates), so accuracy is also shown relative to random choice.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/evaluate.hpp"
+#include "exp/scenario.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lts;
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(24);  // keep per-scale collection affordable
+
+  AsciiTable table({"cluster", "nodes", "RF Top-1", "Random Top-1",
+                    "RF Top-2", "decision latency (us)"});
+
+  struct Scale {
+    int sites;
+    int nodes_per_site;
+  };
+  for (const Scale scale : {Scale{3, 2}, Scale{4, 3}, Scale{6, 4}}) {
+    exp::EnvOptions env;
+    env.cluster_spec = exp::scaled_cluster_spec(scale.sites,
+                                                scale.nodes_per_site);
+    exp::CollectorOptions collect;
+    collect.repeats = 2;
+    collect.base_seed = 52000;
+    collect.env = env;
+    const CsvTable log = exp::collect_training_data(matrix, collect);
+    const auto model = std::shared_ptr<const ml::Regressor>(
+        core::Trainer::train("random_forest",
+                             core::Trainer::dataset_from_log(log)));
+
+    exp::EvalOptions eval;
+    eval.num_scenarios = 40;
+    eval.truth_repeats = 1;
+    eval.base_seed = 63000;
+    eval.env = env;
+    std::vector<exp::MethodUnderTest> methods;
+    methods.push_back({"rf", model, core::FeatureSet::kTable1});
+    const auto result = exp::evaluate_methods(methods, matrix, eval);
+
+    // Decision latency on a warm environment.
+    exp::SimEnv probe(1, env);
+    probe.warmup();
+    core::LtsScheduler scheduler(
+        core::TelemetryFetcher(probe.tsdb(), probe.node_names()), model);
+    spark::JobConfig job;
+    job.executors = 4;
+    const auto start = std::chrono::steady_clock::now();
+    constexpr int kReps = 50;
+    for (int i = 0; i < kReps; ++i) {
+      (void)scheduler.schedule(job, probe.engine().now());
+    }
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        kReps;
+
+    std::vector<std::string> row;
+    row.push_back(strformat("%d sites x %d", scale.sites,
+                            scale.nodes_per_site));
+    row.push_back(std::to_string(scale.sites * scale.nodes_per_site));
+    row.push_back(strformat("%.3f", result.by_method("rf").top1));
+    row.push_back(strformat("%.3f", result.by_method("random").top1));
+    row.push_back(strformat("%.3f", result.by_method("rf").top2));
+    row.push_back(strformat("%.0f", micros));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render("Scale sweep").c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// §8 extension: generalization to unseen application types.
+//
+// The paper trains and evaluates on the same four applications. §8 asks
+// about "real-world applications such as distributed ML pipelines ... and
+// multi-stage streaming jobs". This bench adds exactly those two apps and
+// asks: does a model trained only on the paper's matrix transfer to them?
+// Unseen app types encode as the all-zero application one-hot, so the
+// model must rely on telemetry and numeric configuration alone. The
+// transfer gap is then measured against a model whose corpus includes the
+// new apps.
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/evaluate.hpp"
+#include "exp/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lts;
+  const auto paper = exp::paper_scenario_matrix();
+  const auto extension = exp::extension_scenario_matrix();
+  auto combined = paper;
+  combined.insert(combined.end(), extension.begin(), extension.end());
+
+  exp::CollectorOptions collect;
+  collect.repeats = 5;
+  collect.base_seed = 12000;
+  std::printf("Collecting paper-apps corpus (%zu configs x 6 x %d)...\n",
+              paper.size(), collect.repeats);
+  const CsvTable paper_log = exp::collect_training_data(paper, collect);
+  std::printf("Collecting combined corpus (+%zu extension configs)...\n",
+              extension.size());
+  exp::CollectorOptions collect2 = collect;
+  collect2.base_seed = 13000;
+  const CsvTable combined_log =
+      exp::collect_training_data(combined, collect2);
+
+  std::vector<exp::MethodUnderTest> methods;
+  methods.push_back(
+      {"rf_paper_apps_only",
+       std::shared_ptr<const ml::Regressor>(core::Trainer::train(
+           "random_forest", core::Trainer::dataset_from_log(paper_log)))});
+  methods.push_back(
+      {"rf_with_new_apps",
+       std::shared_ptr<const ml::Regressor>(core::Trainer::train(
+           "random_forest",
+           core::Trainer::dataset_from_log(combined_log)))});
+
+  // Evaluate on the NEW apps only.
+  exp::EvalOptions eval;
+  eval.num_scenarios = 60;
+  eval.base_seed = 881000;
+  const auto result = exp::evaluate_methods(methods, extension, eval);
+
+  AsciiTable table({"Model", "Top-1", "Top-2", "Regret (s)"});
+  for (const auto& acc : result.accuracy) {
+    table.add_row_numeric(acc.method, {acc.top1, acc.top2, acc.mean_regret},
+                          3);
+  }
+  std::printf("%s", table
+                        .render("Generalization to unseen applications "
+                                "(ml_pipeline + streaming scenarios)")
+                        .c_str());
+  return 0;
+}

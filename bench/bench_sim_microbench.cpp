@@ -1,0 +1,92 @@
+// Substrate microbenchmarks: raw throughput of the simulator layers, to
+// back the claim that full-scale data collection (3600 jobs) is cheap.
+#include <benchmark/benchmark.h>
+
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+#include "net/flow.hpp"
+#include "simcore/engine.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace {
+
+using namespace lts;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int counter = 0;
+    std::function<void()> tick = [&] {
+      if (++counter < 10000) engine.schedule_in(0.001, tick);
+    };
+    engine.schedule_in(0.001, tick);
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_FlowFairShareRecompute(benchmark::State& state) {
+  const auto n_flows = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  net::Topology topo;
+  const auto a = topo.add_host("a");
+  const auto b = topo.add_host("b");
+  const auto r = topo.add_router("r");
+  topo.add_duplex_link(a, r, 1e9, 1e-4);
+  topo.add_duplex_link(r, b, 1e8, 1e-3);
+  net::FlowManager fm(engine, topo);
+  for (int i = 0; i < n_flows - 1; ++i) {
+    fm.start(a, b, 1e12, nullptr);  // long-lived background flows
+  }
+  for (auto _ : state) {
+    // Adding + cancelling a flow forces two full max-min recomputations.
+    const auto id = fm.start(a, b, 1e12, nullptr);
+    fm.cancel(id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_FlowFairShareRecompute)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_TsdbAppendQuery(benchmark::State& state) {
+  telemetry::Tsdb tsdb;
+  const telemetry::Labels labels{{"node", "node-1"}};
+  double t = 0.0;
+  for (auto _ : state) {
+    tsdb.append("metric", labels, t, t * 2.0);
+    benchmark::DoNotOptimize(tsdb.rate("metric", labels, t, 30.0));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TsdbAppendQuery);
+
+void BM_EnvWarmup(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::SimEnv env(seed++);
+    env.warmup();
+    benchmark::DoNotOptimize(env.snapshot());
+  }
+}
+BENCHMARK(BM_EnvWarmup)->Unit(benchmark::kMillisecond);
+
+void BM_FullJobSimulation(benchmark::State& state) {
+  spark::JobConfig job;
+  job.app = spark::AppType::kSort;
+  job.input_records = 1000000;
+  job.executors = 4;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::SimEnv env(seed++);
+    env.warmup();
+    benchmark::DoNotOptimize(env.run_job(job, 0, seed));
+  }
+}
+BENCHMARK(BM_FullJobSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

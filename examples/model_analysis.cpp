@@ -1,0 +1,74 @@
+// Model analysis: the interpretability story of §3.2.3 made concrete.
+//
+// Trains the random forest on a paper-scale corpus, then prints three
+// complementary views of what it learned:
+//   1. impurity feature importances (the tree-internal view),
+//   2. permutation importances on held-out data (model-agnostic view),
+//   3. partial dependence of predicted duration on the key telemetry
+//      features — the shape a cluster operator would sanity-check
+//      ("more RTT means slower, saturating utilization means much slower").
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/scenario.hpp"
+#include "ml/analysis.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lts;
+  auto matrix = exp::paper_scenario_matrix();
+  exp::CollectorOptions collect;
+  collect.repeats = 5;
+  collect.base_seed = 12000;
+  std::printf("Collecting 1800 samples...\n");
+  const CsvTable log = exp::collect_training_data(matrix, collect);
+  const ml::Dataset data = core::Trainer::dataset_from_log(log);
+
+  Rng split_rng(7);
+  auto [train, holdout] = data.train_test_split(0.25, split_rng);
+  const auto model = core::Trainer::train("random_forest", train);
+
+  // ---- importances, both flavors ----------------------------------------
+  const auto impurity = model->feature_importances();
+  const auto permutation = ml::permutation_importance(*model, holdout);
+  AsciiTable table({"feature", "impurity", "permutation (RMSE +s)"});
+  for (std::size_t f = 0; f < data.feature_names().size(); ++f) {
+    table.add_row({data.feature_names()[f], strformat("%.3f", impurity[f]),
+                   strformat("%.3f", permutation.importance[f])});
+  }
+  std::printf("%s", table
+                        .render(strformat("Feature importances (holdout "
+                                          "baseline RMSE %.2fs)",
+                                          permutation.baseline_rmse))
+                        .c_str());
+
+  // ---- partial dependence on the headline telemetry features ------------
+  for (const std::string feature :
+       {"rtt_mean_ms", "tx_rate_mbps", "cpu_load", "mem_available_gib"}) {
+    const auto f = static_cast<std::size_t>(
+        std::find(data.feature_names().begin(), data.feature_names().end(),
+                  feature) -
+        data.feature_names().begin());
+    const auto pd = ml::partial_dependence(*model, holdout, f, 8);
+    std::printf("\npartial dependence: %s\n", feature.c_str());
+    for (std::size_t g = 0; g < pd.grid.size(); ++g) {
+      // Poor man's bar chart: scaled to the response range.
+      double lo = pd.response[0], hi = pd.response[0];
+      for (const double r : pd.response) {
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+      }
+      const int bars =
+          hi > lo ? static_cast<int>(40.0 * (pd.response[g] - lo) /
+                                     (hi - lo))
+                  : 0;
+      std::printf("  %10.2f | %-40s %.2fs\n", pd.grid[g],
+                  std::string(static_cast<std::size_t>(bars), '#').c_str(),
+                  pd.response[g]);
+    }
+  }
+  return 0;
+}

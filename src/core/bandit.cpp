@@ -1,0 +1,78 @@
+#include "core/bandit.hpp"
+
+#include <cmath>
+
+namespace lts::core {
+
+BanditScheduler::BanditScheduler(BanditOptions options, std::uint64_t seed)
+    : options_(std::move(options)), rng_(seed) {
+  LTS_REQUIRE(options_.initial_epsilon >= 0.0 &&
+                  options_.initial_epsilon <= 1.0,
+              "BanditScheduler: epsilon in [0,1]");
+  LTS_REQUIRE(options_.refit_interval >= 1,
+              "BanditScheduler: refit_interval >= 1");
+  replay_.set_feature_names(
+      FeatureConstructor::feature_names(options_.features));
+}
+
+double BanditScheduler::current_epsilon() const {
+  return std::max(options_.min_epsilon,
+                  options_.initial_epsilon /
+                      std::sqrt(1.0 + static_cast<double>(observations_) /
+                                          options_.epsilon_decay));
+}
+
+std::size_t BanditScheduler::pick(const telemetry::ClusterSnapshot& snapshot,
+                                  const spark::JobConfig& config) {
+  LTS_REQUIRE(!snapshot.nodes.empty(), "BanditScheduler: empty snapshot");
+  const auto n = static_cast<std::int64_t>(snapshot.nodes.size());
+  if (!value_model_ready() || rng_.uniform() < current_epsilon()) {
+    return static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
+  }
+  return pick_greedy(snapshot, config);
+}
+
+std::size_t BanditScheduler::pick_greedy(
+    const telemetry::ClusterSnapshot& snapshot,
+    const spark::JobConfig& config) const {
+  LTS_REQUIRE(value_model_ready(),
+              "BanditScheduler: value model not fitted yet");
+  std::size_t best = 0;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const auto x = FeatureConstructor::build(snapshot.nodes[i], config,
+                                             options_.features);
+    const double predicted = value_model_->predict_row(x);
+    if (predicted < best_value) {
+      best_value = predicted;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void BanditScheduler::observe(const telemetry::ClusterSnapshot& snapshot,
+                              const spark::JobConfig& config,
+                              std::size_t node, double duration) {
+  LTS_REQUIRE(node < snapshot.nodes.size(), "BanditScheduler: bad node");
+  LTS_REQUIRE(duration > 0.0, "BanditScheduler: duration must be positive");
+  const auto x = FeatureConstructor::build(snapshot.nodes[node], config,
+                                           options_.features);
+  replay_.add_row(x, duration);
+  ++observations_;
+  maybe_refit();
+}
+
+void BanditScheduler::maybe_refit() {
+  if (observations_ % options_.refit_interval != 0 && value_model_ready()) {
+    return;
+  }
+  if (replay_.size() < 4) return;  // not enough to fit anything
+  Json params = Json::object();
+  params["log_target"] = true;
+  auto model = ml::create_regressor(options_.value_model, params);
+  model->fit(replay_);
+  value_model_ = std::move(model);
+}
+
+}  // namespace lts::core

@@ -1,0 +1,33 @@
+#include "core/decision.hpp"
+
+#include <algorithm>
+
+namespace lts::core {
+
+const std::string& Decision::selected() const {
+  LTS_REQUIRE(!ranking.empty(), "Decision: empty ranking");
+  return ranking.front().node;
+}
+
+bool Decision::in_top_k(const std::string& node, int k) const {
+  const std::size_t limit =
+      std::min(static_cast<std::size_t>(k), ranking.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (ranking[i].node == node) return true;
+  }
+  return false;
+}
+
+Decision DecisionModule::rank(std::vector<NodePrediction> predictions) {
+  LTS_REQUIRE(!predictions.empty(), "DecisionModule: no candidates");
+  std::sort(predictions.begin(), predictions.end(),
+            [](const NodePrediction& a, const NodePrediction& b) {
+              if (a.predicted_duration != b.predicted_duration) {
+                return a.predicted_duration < b.predicted_duration;
+              }
+              return a.node < b.node;
+            });
+  return Decision{std::move(predictions)};
+}
+
+}  // namespace lts::core

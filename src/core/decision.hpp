@@ -1,0 +1,32 @@
+// Decision Module (§3.2.3): ranks candidate nodes in ascending order of
+// predicted job completion time; the top-ranked node is the launch node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lts::core {
+
+struct NodePrediction {
+  std::string node;
+  double predicted_duration = 0.0;  // seconds
+};
+
+struct Decision {
+  /// Ascending by predicted duration (ties broken by node name so the
+  /// decision is deterministic).
+  std::vector<NodePrediction> ranking;
+
+  const std::string& selected() const;
+  /// True if `node` is among the first k entries.
+  bool in_top_k(const std::string& node, int k) const;
+};
+
+class DecisionModule {
+ public:
+  static Decision rank(std::vector<NodePrediction> predictions);
+};
+
+}  // namespace lts::core

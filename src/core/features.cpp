@@ -1,0 +1,87 @@
+#include "core/features.hpp"
+
+namespace lts::core {
+
+namespace {
+constexpr double kMs = 1e3;           // seconds -> milliseconds
+constexpr double kMBps = 1.0 / 1e6;   // bytes/s -> MB/s
+constexpr double kGiB = 1.0 / (1024.0 * 1024.0 * 1024.0);
+}  // namespace
+
+const std::vector<std::string>& FeatureConstructor::feature_names(
+    FeatureSet set) {
+  static const std::vector<std::string> kTable1Names = {
+      // Network-level telemetry (Table 1).
+      "rtt_mean_ms",
+      "rtt_max_ms",
+      "rtt_std_ms",
+      "tx_rate_mbps",
+      "rx_rate_mbps",
+      // Node-level telemetry.
+      "cpu_load",
+      "mem_available_gib",
+      // Job configuration: categorical app type, one-hot.
+      "app_sort",
+      "app_pagerank",
+      "app_join",
+      "app_groupby",
+      // Job configuration: numeric.
+      "input_records",
+      "executors",
+      "executor_memory_gib",
+      "shuffle_partitions",
+  };
+  static const std::vector<std::string> kRichNames = [] {
+    std::vector<std::string> names = kTable1Names;
+    names.insert(names.end(), {"uplink_util", "downlink_util",
+                               "queue_delay_ms", "active_flows"});
+    return names;
+  }();
+  return set == FeatureSet::kRich ? kRichNames : kTable1Names;
+}
+
+std::size_t FeatureConstructor::num_features(FeatureSet set) {
+  return feature_names(set).size();
+}
+
+std::vector<double> FeatureConstructor::build(
+    const telemetry::NodeTelemetry& t, const spark::JobConfig& config,
+    FeatureSet set) {
+  std::vector<double> x;
+  x.reserve(num_features(set));
+  x.push_back(t.rtt_mean * kMs);
+  x.push_back(t.rtt_max * kMs);
+  x.push_back(t.rtt_std * kMs);
+  x.push_back(t.tx_rate * kMBps);
+  x.push_back(t.rx_rate * kMBps);
+  x.push_back(t.cpu_load);
+  x.push_back(t.mem_available * kGiB);
+  for (const auto app : spark::kAllAppTypes) {
+    x.push_back(config.app == app ? 1.0 : 0.0);
+  }
+  x.push_back(static_cast<double>(config.input_records));
+  x.push_back(static_cast<double>(config.executors));
+  x.push_back(config.executor_memory * kGiB);
+  x.push_back(static_cast<double>(config.effective_shuffle_partitions()));
+  if (set == FeatureSet::kRich) {
+    x.push_back(t.uplink_util);
+    x.push_back(t.downlink_util);
+    x.push_back(t.queue_delay * kMs);
+    x.push_back(t.active_flows);
+  }
+  LTS_ASSERT(x.size() == num_features(set));
+  return x;
+}
+
+std::vector<std::vector<double>> FeatureConstructor::build_all(
+    const telemetry::ClusterSnapshot& snapshot,
+    const spark::JobConfig& config, FeatureSet set) {
+  std::vector<std::vector<double>> out;
+  out.reserve(snapshot.nodes.size());
+  for (const auto& node : snapshot.nodes) {
+    out.push_back(build(node, config, set));
+  }
+  return out;
+}
+
+}  // namespace lts::core

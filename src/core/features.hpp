@@ -1,0 +1,49 @@
+// Feature Constructor (§3.2.3, Table 1).
+//
+// Transforms one candidate node's telemetry digest plus the static job
+// configuration into the fixed-size numeric vector the supervised model
+// consumes. Feature order is part of the model contract: serialized models
+// embed schema_version and refuse to score mismatched vectors.
+//
+// Units are chosen so every feature lands in a human-scale range
+// (milliseconds, MB/s, GiB): irrelevant for trees, kind to the linear
+// baseline, and it makes logged rows directly readable (Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spark/job.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace lts::core {
+
+/// Bump when the feature layout changes.
+inline constexpr int kFeatureSchemaVersion = 2;
+
+/// Which telemetry the model consumes.
+///   kTable1 — exactly the paper's feature set (Table 1).
+///   kRich   — Table 1 plus the §8 extension: per-interface utilization,
+///             estimated queueing delay, and passive flow counts.
+enum class FeatureSet { kTable1, kRich };
+
+class FeatureConstructor {
+ public:
+  /// Names, in vector order.
+  static const std::vector<std::string>& feature_names(
+      FeatureSet set = FeatureSet::kTable1);
+  static std::size_t num_features(FeatureSet set = FeatureSet::kTable1);
+
+  /// Builds the model input for scheduling `config` onto the node described
+  /// by `node_telemetry`.
+  static std::vector<double> build(
+      const telemetry::NodeTelemetry& node_telemetry,
+      const spark::JobConfig& config, FeatureSet set = FeatureSet::kTable1);
+
+  /// Builds vectors for every node in the snapshot (same order).
+  static std::vector<std::vector<double>> build_all(
+      const telemetry::ClusterSnapshot& snapshot,
+      const spark::JobConfig& config, FeatureSet set = FeatureSet::kTable1);
+};
+
+}  // namespace lts::core

@@ -1,0 +1,30 @@
+// Telemetry Fetcher (§3.2.3): queries the metrics server at scheduling time
+// for the most recent telemetry snapshot of every candidate node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/snapshot.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace lts::core {
+
+class TelemetryFetcher {
+ public:
+  TelemetryFetcher(const telemetry::Tsdb& tsdb,
+                   std::vector<std::string> node_names,
+                   telemetry::SnapshotOptions options = {});
+
+  /// Snapshot of all candidate nodes as of `now`.
+  telemetry::ClusterSnapshot fetch(SimTime now) const;
+
+  const std::vector<std::string>& node_names() const { return node_names_; }
+
+ private:
+  const telemetry::Tsdb& tsdb_;
+  std::vector<std::string> node_names_;
+  telemetry::SnapshotOptions options_;
+};
+
+}  // namespace lts::core

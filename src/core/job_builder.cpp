@@ -1,0 +1,60 @@
+#include "core/job_builder.hpp"
+
+#include "util/string_util.hpp"
+
+namespace lts::core {
+
+k8s::SparkJobManifestSpec JobBuilder::manifest_spec(
+    const spark::JobConfig& config, const std::string& job_name,
+    const std::string& pinned_node) {
+  config.validate();
+  k8s::SparkJobManifestSpec spec;
+  spec.job_name = job_name;
+  spec.app_type = spark::to_string(config.app);
+  spec.input_records = config.input_records;
+  spec.executors = config.executors;
+  spec.driver_requests = {config.driver_cores, config.driver_memory};
+  spec.executor_requests = {config.executor_cores, config.executor_memory};
+  spec.pinned_node = pinned_node;
+  spec.extra_conf["spark.sql.shuffle.partitions"] =
+      std::to_string(config.effective_shuffle_partitions());
+  if (config.app == spark::AppType::kPageRank) {
+    spec.extra_conf["spark.lts.pagerank.iterations"] =
+        std::to_string(config.iterations);
+  }
+  return spec;
+}
+
+std::string JobBuilder::render_manifest(const spark::JobConfig& config,
+                                        const std::string& job_name,
+                                        const std::string& pinned_node) {
+  return k8s::render_spark_job_manifest(
+      manifest_spec(config, job_name, pinned_node));
+}
+
+k8s::PodSpec JobBuilder::driver_pod(const spark::JobConfig& config,
+                                    const std::string& job_name,
+                                    const std::string& pinned_node) {
+  k8s::PodSpec pod;
+  pod.name = job_name + "-driver";
+  pod.requests = {config.driver_cores, config.driver_memory};
+  pod.labels["spark-role"] = "driver";
+  pod.labels["app"] = job_name;
+  if (!pinned_node.empty()) {
+    pod.node_affinity = k8s::NodeAffinity{{pinned_node}};
+  }
+  return pod;
+}
+
+k8s::PodSpec JobBuilder::executor_pod(const spark::JobConfig& config,
+                                      const std::string& job_name,
+                                      int index) {
+  k8s::PodSpec pod;
+  pod.name = strformat("%s-exec-%d", job_name.c_str(), index + 1);
+  pod.requests = {config.executor_cores, config.executor_memory};
+  pod.labels["spark-role"] = "executor";
+  pod.labels["app"] = job_name;
+  return pod;
+}
+
+}  // namespace lts::core

@@ -1,0 +1,37 @@
+// Job Builder (§3.2.3): turns a placement decision into Kubernetes objects —
+// a declarative SparkApplication manifest with nodeAffinity injected for the
+// selected node, plus the driver/executor PodSpecs the API server binds.
+#pragma once
+
+#include <string>
+
+#include "k8s/manifest.hpp"
+#include "k8s/resources.hpp"
+#include "spark/job.hpp"
+
+namespace lts::core {
+
+class JobBuilder {
+ public:
+  /// Manifest spec with the node pin and dynamically populated parameters.
+  static k8s::SparkJobManifestSpec manifest_spec(
+      const spark::JobConfig& config, const std::string& job_name,
+      const std::string& pinned_node);
+
+  /// Rendered YAML (what would be `kubectl apply`d).
+  static std::string render_manifest(const spark::JobConfig& config,
+                                     const std::string& job_name,
+                                     const std::string& pinned_node);
+
+  /// Driver pod spec: carries the nodeAffinity pin.
+  static k8s::PodSpec driver_pod(const spark::JobConfig& config,
+                                 const std::string& job_name,
+                                 const std::string& pinned_node);
+
+  /// Executor pod spec #index: *no* affinity — executors are placed
+  /// independently by the default scheduler (§4).
+  static k8s::PodSpec executor_pod(const spark::JobConfig& config,
+                                   const std::string& job_name, int index);
+};
+
+}  // namespace lts::core

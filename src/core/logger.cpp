@@ -1,0 +1,105 @@
+#include "core/logger.hpp"
+
+#include "util/string_util.hpp"
+
+namespace lts::core {
+
+std::vector<std::string> TrainingLogger::columns() {
+  return {"scenario",  "node",        "snapshot_time", "rtt_mean",
+          "rtt_max",   "rtt_std",     "tx_rate",       "rx_rate",
+          "cpu_load",  "mem_available", "uplink_util", "downlink_util",
+          "queue_delay", "active_flows", "app",        "input_records",
+          "executors", "executor_memory", "shuffle_partitions",
+          "iterations", "join_skew",  "duration",      "shuffle_bytes",
+          "max_spill_penalty"};
+}
+
+TrainingLogger::TrainingLogger() : table_(columns()) {}
+
+void TrainingLogger::log(const TrainingRecord& r) {
+  table_.add_row({
+      r.scenario_id,
+      r.node,
+      strformat("%.3f", r.snapshot_time),
+      strformat("%.9g", r.telemetry.rtt_mean),
+      strformat("%.9g", r.telemetry.rtt_max),
+      strformat("%.9g", r.telemetry.rtt_std),
+      strformat("%.9g", r.telemetry.tx_rate),
+      strformat("%.9g", r.telemetry.rx_rate),
+      strformat("%.9g", r.telemetry.cpu_load),
+      strformat("%.9g", r.telemetry.mem_available),
+      strformat("%.9g", r.telemetry.uplink_util),
+      strformat("%.9g", r.telemetry.downlink_util),
+      strformat("%.9g", r.telemetry.queue_delay),
+      strformat("%.9g", r.telemetry.active_flows),
+      spark::to_string(r.config.app),
+      std::to_string(r.config.input_records),
+      std::to_string(r.config.executors),
+      strformat("%.9g", r.config.executor_memory),
+      std::to_string(r.config.effective_shuffle_partitions()),
+      std::to_string(r.config.iterations),
+      strformat("%.9g", r.config.join_skew),
+      strformat("%.9g", r.duration),
+      strformat("%.9g", r.shuffle_bytes),
+      strformat("%.9g", r.max_spill_penalty),
+  });
+}
+
+void TrainingLogger::log_run(const std::string& scenario_id,
+                             const telemetry::ClusterSnapshot& pre_launch,
+                             const spark::JobConfig& config,
+                             const spark::AppResult& result) {
+  LTS_REQUIRE(result.completed, "TrainingLogger: job did not complete");
+  TrainingRecord record;
+  record.scenario_id = scenario_id;
+  record.node = result.driver_node;
+  record.snapshot_time = pre_launch.at;
+  record.telemetry = pre_launch.by_name(result.driver_node);
+  record.config = config;
+  record.duration = result.duration();
+  record.shuffle_bytes = result.total_shuffle_bytes;
+  record.max_spill_penalty = result.max_spill_penalty;
+  log(record);
+}
+
+void TrainingLogger::write_file(const std::string& path) const {
+  table_.write_file(path);
+}
+
+TrainingRecord TrainingLogger::parse_row(const CsvTable& table,
+                                         std::size_t row) {
+  TrainingRecord r;
+  r.scenario_id = table.cell(row, "scenario");
+  r.node = table.cell(row, "node");
+  r.snapshot_time = table.cell_double(row, "snapshot_time");
+  r.telemetry.node = r.node;
+  r.telemetry.rtt_mean = table.cell_double(row, "rtt_mean");
+  r.telemetry.rtt_max = table.cell_double(row, "rtt_max");
+  r.telemetry.rtt_std = table.cell_double(row, "rtt_std");
+  r.telemetry.tx_rate = table.cell_double(row, "tx_rate");
+  r.telemetry.rx_rate = table.cell_double(row, "rx_rate");
+  r.telemetry.cpu_load = table.cell_double(row, "cpu_load");
+  r.telemetry.mem_available = table.cell_double(row, "mem_available");
+  // Rich columns are optional so logs from older schema versions load.
+  if (table.has_col("uplink_util")) {
+    r.telemetry.uplink_util = table.cell_double(row, "uplink_util");
+    r.telemetry.downlink_util = table.cell_double(row, "downlink_util");
+    r.telemetry.queue_delay = table.cell_double(row, "queue_delay");
+    r.telemetry.active_flows = table.cell_double(row, "active_flows");
+  }
+  r.config.app = spark::app_type_from_string(table.cell(row, "app"));
+  r.config.input_records =
+      static_cast<std::int64_t>(table.cell_double(row, "input_records"));
+  r.config.executors = static_cast<int>(table.cell_double(row, "executors"));
+  r.config.executor_memory = table.cell_double(row, "executor_memory");
+  r.config.shuffle_partitions =
+      static_cast<int>(table.cell_double(row, "shuffle_partitions"));
+  r.config.iterations = static_cast<int>(table.cell_double(row, "iterations"));
+  r.config.join_skew = table.cell_double(row, "join_skew");
+  r.duration = table.cell_double(row, "duration");
+  r.shuffle_bytes = table.cell_double(row, "shuffle_bytes");
+  r.max_spill_penalty = table.cell_double(row, "max_spill_penalty");
+  return r;
+}
+
+}  // namespace lts::core

@@ -1,0 +1,56 @@
+// Logger (§3.2.5): records telemetry before each job launches (the system
+// state snapshot) and application-level outcomes after it completes. The
+// accumulated CSV is the offline training corpus.
+#pragma once
+
+#include <string>
+
+#include "spark/job.hpp"
+#include "spark/runtime.hpp"
+#include "telemetry/snapshot.hpp"
+#include "util/csv.hpp"
+
+namespace lts::core {
+
+/// One training row: pre-launch telemetry of the node the driver ran on,
+/// joined with the job configuration and the measured completion time.
+struct TrainingRecord {
+  std::string scenario_id;
+  std::string node;
+  SimTime snapshot_time = 0.0;
+  telemetry::NodeTelemetry telemetry;
+  spark::JobConfig config;
+  double duration = 0.0;          // the prediction target
+  Bytes shuffle_bytes = 0.0;      // application-level extras, for analysis
+  double max_spill_penalty = 1.0;
+};
+
+class TrainingLogger {
+ public:
+  TrainingLogger();
+
+  /// Appends one completed execution.
+  void log(const TrainingRecord& record);
+
+  /// Convenience: builds the record from the snapshot + result.
+  void log_run(const std::string& scenario_id,
+               const telemetry::ClusterSnapshot& pre_launch,
+               const spark::JobConfig& config,
+               const spark::AppResult& result);
+
+  std::size_t size() const { return table_.num_rows(); }
+  const CsvTable& table() const { return table_; }
+
+  void write_file(const std::string& path) const;
+
+  /// The schema shared by writer and Trainer.
+  static std::vector<std::string> columns();
+
+  /// Reconstructs a record from a logged row (inverse of log()).
+  static TrainingRecord parse_row(const CsvTable& table, std::size_t row);
+
+ private:
+  CsvTable table_;
+};
+
+}  // namespace lts::core

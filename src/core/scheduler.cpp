@@ -1,0 +1,47 @@
+#include "core/scheduler.hpp"
+
+namespace lts::core {
+
+LtsScheduler::LtsScheduler(TelemetryFetcher fetcher,
+                           std::shared_ptr<const ml::Regressor> model,
+                           FeatureSet features, double risk_aversion)
+    : fetcher_(std::move(fetcher)),
+      model_(std::move(model)),
+      features_(features),
+      risk_aversion_(risk_aversion) {
+  LTS_REQUIRE(risk_aversion_ >= 0.0, "LtsScheduler: risk_aversion >= 0");
+  LTS_REQUIRE(model_ != nullptr, "LtsScheduler: null model");
+  LTS_REQUIRE(model_->is_fitted(), "LtsScheduler: model must be fitted");
+}
+
+Decision LtsScheduler::schedule(const spark::JobConfig& config,
+                                SimTime now) const {
+  return schedule_from_snapshot(fetcher_.fetch(now), config);
+}
+
+Decision LtsScheduler::schedule_from_snapshot(
+    const telemetry::ClusterSnapshot& snapshot,
+    const spark::JobConfig& config) const {
+  std::vector<NodePrediction> predictions;
+  predictions.reserve(snapshot.nodes.size());
+  for (const auto& node : snapshot.nodes) {
+    const auto features = FeatureConstructor::build(node, config, features_);
+    double score;
+    if (risk_aversion_ > 0.0) {
+      const auto p = model_->predict_with_uncertainty(features);
+      score = p.mean + risk_aversion_ * p.stddev;
+    } else {
+      score = model_->predict_row(features);
+    }
+    predictions.push_back(NodePrediction{node.node, score});
+  }
+  return DecisionModule::rank(std::move(predictions));
+}
+
+std::string LtsScheduler::build_manifest(const spark::JobConfig& config,
+                                         const std::string& job_name,
+                                         const Decision& decision) const {
+  return JobBuilder::render_manifest(config, job_name, decision.selected());
+}
+
+}  // namespace lts::core

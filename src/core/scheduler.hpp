@@ -1,0 +1,62 @@
+// LtsScheduler: the paper's prediction-and-ranking pipeline (§3.2.3).
+//
+//   job request -> Telemetry Fetcher -> Feature Constructor
+//               -> Supervised Model  -> Decision Module -> Job Builder
+//
+// It runs in user space, outside the (simulated) Kubernetes control plane:
+// the output is a placement decision plus a nodeAffinity-pinned manifest,
+// and binding happens through the ordinary API server.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/decision.hpp"
+#include "core/features.hpp"
+#include "core/fetcher.hpp"
+#include "core/job_builder.hpp"
+#include "ml/model.hpp"
+#include "spark/job.hpp"
+
+namespace lts::core {
+
+class LtsScheduler {
+ public:
+  /// `model` must already be fitted (offline training) on feature vectors
+  /// of `features` layout. The scheduler does not own the TSDB; it queries
+  /// through the fetcher.
+  /// `risk_aversion` > 0 ranks nodes by predicted duration plus that many
+  /// standard deviations of model uncertainty: a pessimistic policy that
+  /// avoids placements the model is unsure about (extension beyond the
+  /// paper; 0 reproduces its mean-duration ranking exactly).
+  LtsScheduler(TelemetryFetcher fetcher,
+               std::shared_ptr<const ml::Regressor> model,
+               FeatureSet features = FeatureSet::kTable1,
+               double risk_aversion = 0.0);
+
+  /// Full pipeline: fetch telemetry as of `now`, score every candidate
+  /// node, return the ranking.
+  Decision schedule(const spark::JobConfig& config, SimTime now) const;
+
+  /// Like schedule(), but from a pre-fetched snapshot (used when the caller
+  /// already logged the same snapshot).
+  Decision schedule_from_snapshot(const telemetry::ClusterSnapshot& snapshot,
+                                  const spark::JobConfig& config) const;
+
+  /// The manifest for a decision (Job Builder output).
+  std::string build_manifest(const spark::JobConfig& config,
+                             const std::string& job_name,
+                             const Decision& decision) const;
+
+  const TelemetryFetcher& fetcher() const { return fetcher_; }
+  const ml::Regressor& model() const { return *model_; }
+  FeatureSet feature_set() const { return features_; }
+
+ private:
+  TelemetryFetcher fetcher_;
+  std::shared_ptr<const ml::Regressor> model_;
+  FeatureSet features_;
+  double risk_aversion_;
+};
+
+}  // namespace lts::core

@@ -1,0 +1,55 @@
+// Offline Trainer: converts the Logger's CSV corpus into an ml::Dataset via
+// the Feature Constructor, fits any registered model, and reports holdout
+// quality. This is the "train offline on historical executions, retrain
+// without downtime" loop of §2.3/§2.4.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/features.hpp"
+#include "core/logger.hpp"
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+#include "util/csv.hpp"
+
+namespace lts::core {
+
+struct TrainReport {
+  std::string model_name;
+  std::size_t train_rows = 0;
+  std::size_t test_rows = 0;
+  double train_rmse = 0.0;
+  double test_rmse = 0.0;
+  double test_mae = 0.0;
+  double test_r2 = 0.0;
+};
+
+class Trainer {
+ public:
+  /// Builds the supervised dataset from a training log: each row becomes
+  /// (FeatureConstructor vector, duration). `set` selects the paper's
+  /// Table-1 features or the §8 rich extension.
+  static ml::Dataset dataset_from_log(
+      const CsvTable& log, FeatureSet set = FeatureSet::kTable1);
+
+  /// Fits a fresh model of `model_name` (registry name) on `data`.
+  static std::unique_ptr<ml::Regressor> train(
+      const std::string& model_name, const ml::Dataset& data,
+      const Json& params = Json());
+
+  /// Train/holdout split + fit + metrics, the honest-evaluation path.
+  static TrainReport train_and_evaluate(const std::string& model_name,
+                                        const ml::Dataset& data,
+                                        double test_fraction,
+                                        std::uint64_t seed,
+                                        const Json& params = Json(),
+                                        std::unique_ptr<ml::Regressor>* out =
+                                            nullptr);
+
+  /// Default hyperparameters used throughout the paper reproduction, per
+  /// model family (tuned once, recorded in EXPERIMENTS.md).
+  static Json default_params(const std::string& model_name);
+};
+
+}  // namespace lts::core

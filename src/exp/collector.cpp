@@ -1,0 +1,54 @@
+#include "exp/collector.hpp"
+
+namespace lts::exp {
+
+std::uint64_t sample_seed(const CollectorOptions& options,
+                          std::size_t scenario_index, std::size_t target_node,
+                          int repeat) {
+  // Distinct well-spread stream per sample; SplitMix-style mixing inside
+  // Rng's reseed handles the rest.
+  return options.base_seed + 1000003ULL * scenario_index +
+         10007ULL * target_node + 101ULL * static_cast<std::uint64_t>(repeat);
+}
+
+CsvTable collect_training_data(const std::vector<Scenario>& scenarios,
+                               const CollectorOptions& options) {
+  LTS_REQUIRE(!scenarios.empty(), "collect_training_data: no scenarios");
+  LTS_REQUIRE(options.repeats >= 1, "collect_training_data: repeats >= 1");
+  core::TrainingLogger logger;
+
+  // Determine node count from a throwaway environment.
+  const std::size_t num_nodes =
+      SimEnv(options.base_seed, options.env).node_names().size();
+  const std::size_t total =
+      scenarios.size() * num_nodes * static_cast<std::size_t>(options.repeats);
+  std::size_t done = 0;
+
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (std::size_t target = 0; target < num_nodes; ++target) {
+      for (int rep = 0; rep < options.repeats; ++rep) {
+        const std::uint64_t seed = sample_seed(options, s, target, rep);
+        SimEnv env(seed, options.env);
+        env.warmup();
+        if (options.residual_job) {
+          Rng residual_rng(seed ^ 0x4e51d0a1ULL);
+          const auto& warm = sample_scenario(scenarios, residual_rng);
+          const auto node = static_cast<std::size_t>(residual_rng.uniform_int(
+              0, static_cast<std::int64_t>(env.node_names().size()) - 1));
+          env.run_job(warm.config, node, seed ^ 0x4e51d0a2ULL);
+        }
+        const auto snapshot = env.snapshot();
+        const auto result =
+            env.run_job(scenarios[s].config, target, /*job_seed=*/seed ^
+                                                         0x5eedf00dULL);
+        logger.log_run(scenarios[s].id, snapshot, scenarios[s].config,
+                       result);
+        ++done;
+        if (options.progress) options.progress(done, total);
+      }
+    }
+  }
+  return logger.table();
+}
+
+}  // namespace lts::exp

@@ -1,0 +1,195 @@
+#include "exp/envgen.hpp"
+
+#include "util/string_util.hpp"
+
+namespace lts::exp {
+
+cluster::ClusterSpec scaled_cluster_spec(int sites, int nodes_per_site) {
+  LTS_REQUIRE(sites >= 1 && nodes_per_site >= 1,
+              "scaled_cluster_spec: need at least one site and node");
+  cluster::ClusterSpec spec = cluster::paper_cluster_spec();
+  spec.sites.clear();
+  spec.wan_links.clear();
+  int node = 0;
+  for (int s = 0; s < sites; ++s) {
+    cluster::SiteSpec site;
+    site.name = "site-" + std::to_string(s + 1);
+    for (int n = 0; n < nodes_per_site; ++n) {
+      site.node_names.push_back("node-" + std::to_string(++node));
+    }
+    spec.sites.push_back(std::move(site));
+  }
+  // Full mesh; RTT grows with "distance" along the site index, like a
+  // string of geographically spread institutions.
+  for (int a = 0; a < sites; ++a) {
+    for (int b = a + 1; b < sites; ++b) {
+      cluster::WanLinkSpec wan;
+      wan.site_a = "site-" + std::to_string(a + 1);
+      wan.site_b = "site-" + std::to_string(b + 1);
+      wan.rtt = std::min(0.008 + 0.014 * static_cast<double>(b - a), 0.090);
+      wan.capacity_bps = 600e6;
+      spec.wan_links.push_back(wan);
+    }
+  }
+  return spec;
+}
+
+SimEnv::SimEnv(std::uint64_t seed, EnvOptions options)
+    : seed_(seed), options_(std::move(options)) {
+  Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + 0x1234);
+
+  // Per-node heterogeneity (see EnvOptions): drawn before construction so
+  // the ping mesh measures it from the first probe.
+  cluster::ClusterSpec spec = options_.cluster_spec;
+  if (spec.node_access_extra_delay.empty() &&
+      options_.max_node_extra_delay > 0.0) {
+    std::size_t total_nodes = 0;
+    for (const auto& site : spec.sites) total_nodes += site.node_names.size();
+    for (std::size_t i = 0; i < total_nodes; ++i) {
+      spec.node_access_extra_delay.push_back(
+          rng.uniform(0.0, options_.max_node_extra_delay));
+    }
+  }
+  cluster_ = std::make_unique<cluster::Cluster>(engine_, spec);
+  node_names_ = cluster_->node_names();
+  stack_ = std::make_unique<telemetry::TelemetryStack>(
+      engine_, *cluster_, options_.exporter, rng.split());
+
+  // Register nodes with the API server; allocatable = capacity - reserved.
+  for (std::size_t i = 0; i < cluster_->num_nodes(); ++i) {
+    const auto& node = cluster_->node(i);
+    api_.register_node(
+        node.name(),
+        k8s::Resources{node.cores() - options_.cpu_reserve,
+                       node.memory_capacity() - options_.memory_reserve},
+        {{"topology.kubernetes.io/zone", node.site()},
+         {"kubernetes.io/hostname", node.name()}});
+  }
+  kube_scheduler_ =
+      std::make_unique<k8s::DefaultScheduler>(api_, seed_ ^ 0xcafef00dULL);
+
+  // Resident system daemons (kubelet, exporters, OS services): a small
+  // persistent CPU demand per node, visible in the load average.
+  for (std::size_t i = 0; i < cluster_->num_nodes(); ++i) {
+    cluster_->node(i).cpu().add_persistent(
+        rng.uniform(options_.min_daemon_cpu, options_.max_daemon_cpu));
+  }
+
+  // Background contention pods (§5.2), bound through the API server so the
+  // default scheduler sees their requests — but crucially not their traffic.
+  Rng bg_rng = rng.split();
+  const int n_bg = static_cast<int>(bg_rng.uniform_int(
+      options_.min_background_pods, options_.max_background_pods));
+  const auto n_nodes = static_cast<std::int64_t>(cluster_->num_nodes());
+  for (int b = 0; b < n_bg; ++b) {
+    const auto client =
+        static_cast<std::size_t>(bg_rng.uniform_int(0, n_nodes - 1));
+    std::size_t server =
+        static_cast<std::size_t>(bg_rng.uniform_int(0, n_nodes - 2));
+    if (server >= client) ++server;
+    cluster::BackgroundLoadOptions bg_opts = options_.background;
+    bg_opts.parallel_fetches = static_cast<int>(bg_rng.uniform_int(
+        options_.min_parallel_fetches, options_.max_parallel_fetches));
+    bg_opts.client_memory =
+        bg_rng.uniform(0.5, 2.5) * 1024 * 1024 * 1024;
+    bg_opts.server_memory =
+        bg_rng.uniform(0.25, 1.0) * 1024 * 1024 * 1024;
+
+    // BestEffort pods: no resource requests, exactly like an ad-hoc curl
+    // pod. The default scheduler therefore cannot see this load at all —
+    // the §3.1 blindness the paper's baseline suffers from.
+    k8s::PodSpec client_pod;
+    client_pod.name = strformat("bg-%d-client", b);
+    client_pod.labels["app"] = "background-curl";
+    api_.bind(client_pod, node_names_[client]);
+    k8s::PodSpec server_pod;
+    server_pod.name = strformat("bg-%d-server", b);
+    server_pod.labels["app"] = "background-http";
+    api_.bind(server_pod, node_names_[server]);
+
+    auto load = std::make_unique<cluster::BackgroundLoad>(
+        *cluster_, client, server, bg_opts, bg_rng.split());
+    const SimTime start_at = bg_rng.uniform(0.0, 5.0);
+    engine_.schedule_in(start_at,
+                        [ptr = load.get()] { ptr->start(); });
+    background_.push_back(std::move(load));
+  }
+}
+
+void SimEnv::warmup() {
+  if (warmed_up_) return;
+  engine_.run_until(options_.warmup);
+  warmed_up_ = true;
+}
+
+telemetry::ClusterSnapshot SimEnv::snapshot() const {
+  return telemetry::build_snapshot(stack_->tsdb(), node_names_,
+                                   engine_.now(), options_.snapshot);
+}
+
+const cluster::BackgroundLoad& SimEnv::background_pod(std::size_t i) const {
+  LTS_REQUIRE(i < background_.size(), "SimEnv: background index");
+  return *background_[i];
+}
+
+k8s::ScheduleResult SimEnv::kube_ranking(const spark::JobConfig& config) {
+  const auto pod = core::JobBuilder::driver_pod(
+      config, strformat("probe-%d", job_counter_), /*pinned_node=*/"");
+  // A fresh scheduler instance: the probe must not consume (or correlate
+  // with) the tie-break stream used for real pod placement.
+  k8s::DefaultScheduler probe_scheduler(api_, seed_ ^ 0xba5e11e0ULL);
+  return probe_scheduler.schedule(pod);
+}
+
+spark::AppResult SimEnv::run_job(const spark::JobConfig& config,
+                                 std::size_t driver_node,
+                                 std::uint64_t job_seed) {
+  LTS_REQUIRE(driver_node < cluster_->num_nodes(),
+              "SimEnv: driver node out of range");
+  const std::string job_name = strformat("job-%d", ++job_counter_);
+
+  // Bind the driver where the scheduler-under-test decided (nodeAffinity);
+  // the Spark operator creates the driver pod first, executors follow.
+  const auto driver_pod = core::JobBuilder::driver_pod(
+      config, job_name, node_names_[driver_node]);
+  api_.bind(driver_pod, node_names_[driver_node]);
+
+  // Executors go through the default scheduler, one by one (§4: "executor
+  // pods are placed independently by the default Kubernetes scheduler").
+  std::vector<std::size_t> executor_nodes;
+  std::vector<std::string> bound_pods{driver_pod.name};
+  executor_nodes.reserve(static_cast<std::size_t>(config.executors));
+  for (int e = 0; e < config.executors; ++e) {
+    const auto pod = core::JobBuilder::executor_pod(config, job_name, e);
+    const auto result = kube_scheduler_->schedule(pod);
+    LTS_REQUIRE(result.feasible(),
+                "SimEnv: no feasible node for executor pod");
+    api_.bind(pod, result.selected());
+    bound_pods.push_back(pod.name);
+    executor_nodes.push_back(cluster_->node_index(result.selected()));
+  }
+
+  // The job's own randomness: DAG (Join skew) and runtime jitter streams
+  // derive from job_seed only, so placement does not perturb the draws.
+  Rng dag_rng(job_seed * 0x2545f4914f6cdd1dULL + 0x9e37);
+  auto dag = spark::build_dag(config, dag_rng, options_.workload_cost);
+  Rng app_rng(job_seed * 0xda942042e4dd58b5ULL + 0x7f4a);
+
+  spark::SparkApp app(*cluster_, config, std::move(dag), driver_node,
+                      executor_nodes, app_rng, options_.runtime);
+  bool done = false;
+  app.submit([&done](const spark::AppResult&) { done = true; });
+  const SimTime deadline = engine_.now() + options_.max_job_duration;
+  while (!done) {
+    LTS_REQUIRE(engine_.step(), "SimEnv: event queue drained mid-job");
+    LTS_REQUIRE(engine_.now() <= deadline,
+                "SimEnv: job exceeded max_job_duration");
+  }
+
+  for (const auto& pod_name : bound_pods) {
+    api_.remove_pod(pod_name);
+  }
+  return app.result();
+}
+
+}  // namespace lts::exp

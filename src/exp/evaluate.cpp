@@ -1,0 +1,192 @@
+#include "exp/evaluate.hpp"
+
+#include <algorithm>
+
+#include "core/scheduler.hpp"
+#include "ml/metrics.hpp"
+
+namespace lts::exp {
+
+const MethodAccuracy& EvalResult::by_method(const std::string& name) const {
+  for (const auto& m : accuracy) {
+    if (m.method == name) return m;
+  }
+  throw Error("EvalResult: no method named " + name);
+}
+
+namespace {
+
+/// Ranks node indices by ascending key, ties broken by index for
+/// determinism.
+std::vector<std::size_t> rank_by(const std::vector<double>& keys) {
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+  return order;
+}
+
+bool hit_topk(const std::vector<std::size_t>& ranking, std::size_t fastest,
+              int k) {
+  const std::size_t limit =
+      std::min(ranking.size(), static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (ranking[i] == fastest) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EvalResult evaluate_methods(
+    const std::vector<std::pair<std::string,
+                                std::shared_ptr<const ml::Regressor>>>& models,
+    const std::vector<Scenario>& matrix, const EvalOptions& options) {
+  std::vector<MethodUnderTest> entries;
+  entries.reserve(models.size());
+  for (const auto& [name, model] : models) {
+    entries.push_back(MethodUnderTest{name, model});
+  }
+  return evaluate_methods(entries, matrix, options);
+}
+
+EvalResult evaluate_methods(const std::vector<MethodUnderTest>& models,
+                            const std::vector<Scenario>& matrix,
+                            const EvalOptions& options) {
+  LTS_REQUIRE(options.num_scenarios >= 1, "evaluate_methods: no scenarios");
+  EvalResult result;
+
+  std::vector<std::string> method_order = {"kube_default", "random"};
+  for (const auto& h : options.heuristics) method_order.push_back(h);
+  for (const auto& entry : models) {
+    LTS_REQUIRE(entry.model != nullptr && entry.model->is_fitted(),
+                "evaluate_methods: model '" + entry.name + "' not fitted");
+    method_order.push_back(entry.name);
+  }
+  std::map<std::string, int> top1_hits, top2_hits;
+  std::map<std::string, double> regret_sum;
+
+  for (int s = 0; s < options.num_scenarios; ++s) {
+    const std::uint64_t seed =
+        options.base_seed + 7919ULL * static_cast<std::uint64_t>(s);
+    Rng pick_rng(seed ^ 0xabcdef12ULL);
+    const Scenario& scenario = sample_scenario(matrix, pick_rng);
+    const std::uint64_t job_seed = seed ^ 0x5eedf00dULL;
+
+    ScenarioOutcome outcome;
+    outcome.scenario_id = scenario.id;
+    outcome.seed = seed;
+
+    // --- method rankings, all from the state at warmup time -------------
+    {
+      SimEnv env(seed, options.env);
+      env.warmup();
+      const auto snapshot = env.snapshot();
+      const std::size_t n = env.node_names().size();
+
+      // Baseline: the default Kubernetes scheduler's ranking for the
+      // driver pod (resource-requests only, network-blind).
+      const auto kube = env.kube_ranking(scenario.config);
+      std::vector<std::size_t> kube_rank;
+      for (const auto& scored : kube.ranking) {
+        kube_rank.push_back(env.cluster().node_index(scored.name));
+      }
+      outcome.rankings["kube_default"] = std::move(kube_rank);
+
+      // Baseline: uniform random order.
+      std::vector<std::size_t> random_rank(n);
+      for (std::size_t i = 0; i < n; ++i) random_rank[i] = i;
+      Rng shuffle_rng(seed ^ 0x12341234ULL);
+      shuffle_rng.shuffle(random_rank);
+      outcome.rankings["random"] = std::move(random_rank);
+
+      // Telemetry heuristics (ablation baselines).
+      for (const auto& h : options.heuristics) {
+        std::vector<double> keys(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto& t = snapshot.nodes[i];
+          if (h == "least_cpu") {
+            keys[i] = t.cpu_load;
+          } else if (h == "least_rtt") {
+            keys[i] = t.rtt_mean;
+          } else {
+            throw Error("evaluate_methods: unknown heuristic " + h);
+          }
+        }
+        outcome.rankings[h] = rank_by(keys);
+      }
+
+      // Supervised models: the paper's prediction-and-ranking pipeline.
+      for (const auto& entry : models) {
+        core::LtsScheduler scheduler(
+            core::TelemetryFetcher(env.tsdb(), env.node_names(),
+                                   options.env.snapshot),
+            entry.model, entry.features, entry.risk_aversion);
+        const auto decision =
+            scheduler.schedule_from_snapshot(snapshot, scenario.config);
+        std::vector<std::size_t> ranked;
+        ranked.reserve(decision.ranking.size());
+        for (const auto& p : decision.ranking) {
+          ranked.push_back(env.cluster().node_index(p.node));
+        }
+        outcome.rankings[entry.name] = std::move(ranked);
+      }
+    }
+
+    // --- counterfactual ground truth -------------------------------------
+    {
+      LTS_REQUIRE(options.truth_repeats >= 1,
+                  "evaluate_methods: truth_repeats >= 1");
+      std::size_t n_nodes = SimEnv(seed, options.env).node_names().size();
+      for (std::size_t node = 0; node < n_nodes; ++node) {
+        double total = 0.0;
+        for (int rep = 0; rep < options.truth_repeats; ++rep) {
+          SimEnv env(seed, options.env);
+          env.warmup();
+          const auto run = env.run_job(
+              scenario.config, node,
+              job_seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(rep));
+          total += run.duration();
+        }
+        outcome.node_durations.push_back(
+            total / static_cast<double>(options.truth_repeats));
+      }
+      outcome.fastest_node = static_cast<std::size_t>(
+          std::min_element(outcome.node_durations.begin(),
+                           outcome.node_durations.end()) -
+          outcome.node_durations.begin());
+    }
+
+    for (const auto& method : method_order) {
+      const auto& ranking = outcome.rankings.at(method);
+      if (hit_topk(ranking, outcome.fastest_node, 1)) ++top1_hits[method];
+      if (hit_topk(ranking, outcome.fastest_node, 2)) ++top2_hits[method];
+      regret_sum[method] +=
+          outcome.node_durations[ranking.front()] -
+          outcome.node_durations[outcome.fastest_node];
+    }
+    result.outcomes.push_back(std::move(outcome));
+    if (options.progress) {
+      options.progress(static_cast<std::size_t>(s + 1),
+                       static_cast<std::size_t>(options.num_scenarios));
+    }
+  }
+
+  for (const auto& method : method_order) {
+    MethodAccuracy acc;
+    acc.method = method;
+    acc.scenarios = options.num_scenarios;
+    acc.top1 = static_cast<double>(top1_hits[method]) /
+               static_cast<double>(options.num_scenarios);
+    acc.top2 = static_cast<double>(top2_hits[method]) /
+               static_cast<double>(options.num_scenarios);
+    acc.mean_regret =
+        regret_sum[method] / static_cast<double>(options.num_scenarios);
+    result.accuracy.push_back(std::move(acc));
+  }
+  return result;
+}
+
+}  // namespace lts::exp

@@ -1,0 +1,75 @@
+#include "exp/figures.hpp"
+
+#include "telemetry/exporters.hpp"
+#include "util/stats.hpp"
+
+namespace lts::exp {
+
+SortTelemetryFigures figure_sort_telemetry(const spark::JobConfig& sort_config,
+                                           const FigureOptions& options) {
+  LTS_REQUIRE(options.runs >= 1, "figure_sort_telemetry: runs >= 1");
+  SimEnv env(options.seed, options.env);
+  env.warmup();
+  const auto& names = env.node_names();
+  const std::size_t n = names.size();
+  LTS_REQUIRE(options.driver_node < n,
+              "figure_sort_telemetry: driver node out of range");
+
+  SortTelemetryFigures figures;
+  figures.runs = options.runs;
+  std::vector<RunningStats> latency(n), tx(n);
+
+  for (int run = 0; run < options.runs; ++run) {
+    const SimTime t0 = env.engine().now();
+    const auto result = env.run_job(
+        sort_config, options.driver_node,
+        options.seed ^ (0x51aaULL + static_cast<std::uint64_t>(run)));
+    figures.run_durations.push_back(result.duration());
+    const SimTime t1 = env.engine().now();
+    const SimTime window = t1 - t0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      // Figure 2: node's mean RTT to peers, averaged over this run window.
+      RunningStats rtt_stats;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto avg = env.tsdb().avg_over_time(
+            telemetry::kPingRttMetric,
+            {{"src", names[i]}, {"dst", names[j]}}, t1, window);
+        if (avg.has_value()) rtt_stats.add(*avg);
+      }
+      if (rtt_stats.count() > 0) latency[i].add(rtt_stats.mean() * 1e3);
+
+      // Figure 3: node's transmit rate over this run window.
+      const double tx_rate = env.tsdb().rate(
+          telemetry::kTxBytesMetric, {{"node", names[i]}}, t1, window);
+      tx[i].add(tx_rate / 1e6);
+    }
+  }
+
+  figures.avg_latency_ms.nodes = names;
+  figures.avg_tx_mbps.nodes = names;
+  for (std::size_t i = 0; i < n; ++i) {
+    figures.avg_latency_ms.values.push_back(latency[i].mean());
+    figures.avg_tx_mbps.values.push_back(tx[i].mean());
+  }
+  return figures;
+}
+
+SiteRttMatrix figure_topology(const EnvOptions& env_options) {
+  SimEnv env(1, env_options);
+  SiteRttMatrix matrix;
+  matrix.sites = env.cluster().site_names();
+  const std::size_t n = matrix.sites.size();
+  matrix.rtt_ms.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      matrix.rtt_ms[i][j] =
+          env.cluster().site_rtt(matrix.sites[i], matrix.sites[j]) * 1e3;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace lts::exp

@@ -1,0 +1,58 @@
+// Data series for the paper's figures.
+//
+//   Figure 2 — average latency per node across five runs of Sort.
+//   Figure 3 — average transmit bandwidth per node across five runs of Sort.
+//   Figure 4 — geographic layout: inter-site RTTs.
+//
+// The figure generators run the same workflow the paper describes (§4):
+// five Sort executions in one living environment with background load, with
+// per-node telemetry aggregated over each run window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/envgen.hpp"
+#include "spark/job.hpp"
+
+namespace lts::exp {
+
+struct PerNodeSeries {
+  std::vector<std::string> nodes;
+  std::vector<double> values;  // same order as nodes
+};
+
+struct SortTelemetryFigures {
+  int runs = 0;
+  /// Figure 2: mean RTT from each node to its peers, averaged over the run
+  /// windows, in milliseconds.
+  PerNodeSeries avg_latency_ms;
+  /// Figure 3: mean transmit bandwidth per node over the run windows, MB/s.
+  PerNodeSeries avg_tx_mbps;
+  /// Per-run job durations (context for the figure captions).
+  std::vector<double> run_durations;
+};
+
+struct FigureOptions {
+  std::uint64_t seed = 42;
+  int runs = 5;
+  EnvOptions env;
+  /// Driver placement for the Sort runs (paper: a fixed target node).
+  std::size_t driver_node = 0;
+};
+
+/// Reproduces the Figures 2 & 3 data collection.
+SortTelemetryFigures figure_sort_telemetry(const spark::JobConfig& sort_config,
+                                           const FigureOptions& options);
+
+struct SiteRttMatrix {
+  std::vector<std::string> sites;
+  /// rtt_ms[i][j]: measured RTT between routers of sites i and j (0 on the
+  /// diagonal).
+  std::vector<std::vector<double>> rtt_ms;
+};
+
+/// Reproduces Figure 4's inter-site RTT annotations from live measurement.
+SiteRttMatrix figure_topology(const EnvOptions& env_options);
+
+}  // namespace lts::exp

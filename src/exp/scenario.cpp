@@ -1,0 +1,83 @@
+#include "exp/scenario.hpp"
+
+#include "util/string_util.hpp"
+
+namespace lts::exp {
+
+std::vector<Scenario> paper_scenario_matrix() {
+  std::vector<Scenario> out;
+  const spark::AppType apps[] = {spark::AppType::kSort,
+                                 spark::AppType::kPageRank,
+                                 spark::AppType::kJoin,
+                                 spark::AppType::kGroupBy};
+  const std::int64_t input_sizes[] = {100000, 250000, 500000, 1000000,
+                                      2000000};
+  const int executor_counts[] = {2, 4, 6};
+
+  for (const auto app : apps) {
+    int index = 0;
+    for (const auto records : input_sizes) {
+      for (const auto executors : executor_counts) {
+        Scenario s;
+        s.id = strformat("%s-%02d", spark::to_string(app), ++index);
+        s.config.app = app;
+        s.config.input_records = records;
+        s.config.record_bytes = 200.0;
+        s.config.executors = executors;
+        s.config.executor_cores = (index % 2 == 0) ? 2.0 : 1.0;
+        // Alternate memory allocations so some configurations run tight
+        // (spill-prone) and others comfortable.
+        s.config.executor_memory = (index % 3 == 0)
+                                       ? 768.0 * 1024 * 1024
+                                       : 1536.0 * 1024 * 1024;
+        s.config.driver_cores = 1.0;
+        s.config.driver_memory = 1024.0 * 1024 * 1024;
+        s.config.shuffle_partitions = 0;  // engine default
+        if (app == spark::AppType::kPageRank) {
+          s.config.iterations = 2 + (index % 3);  // 2..4
+        }
+        if (app == spark::AppType::kJoin) {
+          s.config.join_skew = 1.1 + 0.1 * (index % 5);  // 1.1..1.5
+        }
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  LTS_ASSERT(out.size() == 60);
+  return out;
+}
+
+std::vector<Scenario> extension_scenario_matrix() {
+  std::vector<Scenario> out;
+  const spark::AppType apps[] = {spark::AppType::kMlPipeline,
+                                 spark::AppType::kStreaming};
+  const std::int64_t input_sizes[] = {250000, 500000, 1000000};
+  for (const auto app : apps) {
+    int index = 0;
+    for (const auto records : input_sizes) {
+      for (const int executors : {3, 5}) {
+        Scenario s;
+        s.id = strformat("%s-%02d", spark::to_string(app), ++index);
+        s.config.app = app;
+        s.config.input_records = records;
+        s.config.record_bytes = 200.0;
+        s.config.executors = executors;
+        s.config.executor_memory = 1536.0 * 1024 * 1024;
+        s.config.iterations = 2 + (index % 2);
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  LTS_ASSERT(out.size() == 12);
+  return out;
+}
+
+const Scenario& sample_scenario(const std::vector<Scenario>& matrix,
+                                Rng& rng) {
+  LTS_REQUIRE(!matrix.empty(), "sample_scenario: empty matrix");
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(matrix.size()) - 1));
+  return matrix[idx];
+}
+
+}  // namespace lts::exp

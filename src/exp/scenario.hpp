@@ -1,0 +1,36 @@
+// Scenario matrix: the paper's 60 distinct job configurations (§5.2) across
+// the four application/shuffle-pattern variants, covering a range of input
+// sizes, executor counts and memory allocations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spark/job.hpp"
+#include "util/rng.hpp"
+
+namespace lts::exp {
+
+struct Scenario {
+  std::string id;           // e.g. "sort-07"
+  spark::JobConfig config;
+};
+
+/// The 60-configuration matrix: 15 per application (sort, pagerank, join,
+/// groupby) = input sizes {1e5, 2.5e5, 5e5, 1e6, 2e6} x executors {2, 4, 6},
+/// with memory, partitions, iterations and skew varied deterministically
+/// across the grid.
+std::vector<Scenario> paper_scenario_matrix();
+
+/// Extension scenarios (§8 future-work applications): 12 configurations of
+/// the distributed-ML-pipeline and multi-stage-streaming apps. These app
+/// types are NOT in the paper's matrix, so a model trained on
+/// paper_scenario_matrix() sees them as the all-zero app one-hot — the
+/// generalization experiment of bench_ext_workloads.
+std::vector<Scenario> extension_scenario_matrix();
+
+/// Draws one scenario uniformly from the matrix.
+const Scenario& sample_scenario(const std::vector<Scenario>& matrix,
+                                Rng& rng);
+
+}  // namespace lts::exp

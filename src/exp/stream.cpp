@@ -1,0 +1,154 @@
+#include "exp/stream.hpp"
+
+#include "spark/runtime.hpp"
+#include "spark/workloads.hpp"
+#include "util/string_util.hpp"
+
+namespace lts::exp {
+
+StreamResult run_job_stream(StreamPolicy policy,
+                            std::shared_ptr<const ml::Regressor> model,
+                            const std::vector<Scenario>& matrix,
+                            const StreamOptions& options) {
+  LTS_REQUIRE(options.num_jobs >= 1, "run_job_stream: num_jobs >= 1");
+  if (policy == StreamPolicy::kModel) {
+    LTS_REQUIRE(model != nullptr && model->is_fitted(),
+                "run_job_stream: kModel needs a fitted model");
+  }
+
+  SimEnv env(options.seed, options.env);
+  const std::size_t n_nodes = env.node_names().size();
+
+  // Pre-draw the job sequence and arrival times: identical across policies.
+  Rng stream_rng(options.seed ^ 0x57AE57AEULL);
+  struct PlannedJob {
+    const Scenario* scenario;
+    SimTime arrival;
+    std::uint64_t job_seed;
+    std::size_t random_node;  // used by kRandom
+  };
+  std::vector<PlannedJob> plan;
+  SimTime t = env.options().warmup;
+  for (int j = 0; j < options.num_jobs; ++j) {
+    t += stream_rng.exponential(options.mean_interarrival);
+    plan.push_back(PlannedJob{
+        &sample_scenario(matrix, stream_rng), t,
+        options.seed * 1000003ULL + static_cast<std::uint64_t>(j),
+        static_cast<std::size_t>(stream_rng.uniform_int(
+            0, static_cast<std::int64_t>(n_nodes) - 1))});
+  }
+
+  // Optional model scheduler (reused across decisions).
+  std::unique_ptr<core::LtsScheduler> scheduler;
+  if (policy == StreamPolicy::kModel) {
+    scheduler = std::make_unique<core::LtsScheduler>(
+        core::TelemetryFetcher(env.tsdb(), env.node_names(),
+                               options.env.snapshot),
+        model, options.features);
+  }
+
+  StreamResult result;
+  result.jobs.resize(plan.size());
+  std::vector<std::unique_ptr<spark::SparkApp>> apps(plan.size());
+  int remaining = options.num_jobs;
+
+  // Placement may be infeasible while the cluster is backlogged; like real
+  // pending pods, the job retries a few seconds later.
+  constexpr SimTime kRetryDelay = 5.0;
+  auto try_place = std::make_shared<std::function<void(std::size_t)>>();
+  *try_place = [&, try_place](std::size_t j) {
+    const PlannedJob& planned = plan[j];
+    const spark::JobConfig& config = planned.scenario->config;
+    const std::string job_name =
+        strformat("stream-%zu-%.0f", j, env.engine().now());
+    auto retry = [&, try_place, j] {
+      env.engine().schedule_in(kRetryDelay,
+                               [try_place, j] { (*try_place)(j); });
+    };
+
+    // Placement decision now, from live state.
+    std::size_t driver_node = 0;
+    switch (policy) {
+      case StreamPolicy::kModel: {
+        const auto decision = scheduler->schedule(config, env.engine().now());
+        driver_node = env.cluster().node_index(decision.selected());
+        break;
+      }
+      case StreamPolicy::kKubeDefault: {
+        const auto ranking = env.kube_ranking(config);
+        if (!ranking.feasible()) {
+          retry();
+          return;
+        }
+        driver_node = env.cluster().node_index(ranking.selected());
+        break;
+      }
+      case StreamPolicy::kRandom:
+        driver_node = planned.random_node;
+        break;
+    }
+
+    // Bind pods (driver pinned; executors via the default scheduler); on
+    // any infeasibility unwind the bindings and retry later.
+    const auto driver_pod = core::JobBuilder::driver_pod(
+        config, job_name, env.node_names()[driver_node]);
+    auto bound = std::make_shared<std::vector<std::string>>();
+    const auto driver_fit = env.kube_scheduler().schedule(driver_pod);
+    if (!driver_fit.feasible()) {
+      retry();
+      return;
+    }
+    env.api().bind(driver_pod, env.node_names()[driver_node]);
+    bound->push_back(driver_pod.name);
+    std::vector<std::size_t> executor_nodes;
+    for (int e = 0; e < config.executors; ++e) {
+      const auto pod = core::JobBuilder::executor_pod(config, job_name, e);
+      const auto where = env.kube_scheduler().schedule(pod);
+      if (!where.feasible()) {
+        for (const auto& name : *bound) env.api().remove_pod(name);
+        retry();
+        return;
+      }
+      env.api().bind(pod, where.selected());
+      bound->push_back(pod.name);
+      executor_nodes.push_back(env.cluster().node_index(where.selected()));
+    }
+
+    Rng dag_rng(planned.job_seed * 0x2545f4914f6cdd1dULL + 0x9e37);
+    auto dag = spark::build_dag(config, dag_rng,
+                                env.options().workload_cost);
+    Rng app_rng(planned.job_seed * 0xda942042e4dd58b5ULL + 0x7f4a);
+    apps[j] = std::make_unique<spark::SparkApp>(
+        env.cluster(), config, std::move(dag), driver_node, executor_nodes,
+        app_rng, env.options().runtime);
+    apps[j]->submit([&, j, bound](const spark::AppResult& app_result) {
+      result.jobs[j].scenario_id = plan[j].scenario->id;
+      result.jobs[j].driver_node = app_result.driver_node;
+      result.jobs[j].submitted = app_result.submit_time;
+      result.jobs[j].duration = app_result.duration();
+      for (const auto& pod : *bound) env.api().remove_pod(pod);
+      --remaining;
+    });
+  };
+
+  for (std::size_t j = 0; j < plan.size(); ++j) {
+    env.engine().schedule_at(plan[j].arrival,
+                             [try_place, j] { (*try_place)(j); });
+  }
+
+  while (remaining > 0) {
+    LTS_REQUIRE(env.engine().step(), "run_job_stream: engine drained early");
+    LTS_REQUIRE(env.engine().now() < plan.back().arrival + 7200.0,
+                "run_job_stream: stream failed to complete");
+  }
+
+  SimTime first_submit = plan.front().arrival;
+  SimTime last_finish = 0.0;
+  for (const auto& job : result.jobs) {
+    last_finish = std::max(last_finish, job.submitted + job.duration);
+  }
+  result.makespan = last_finish - first_submit;
+  return result;
+}
+
+}  // namespace lts::exp

@@ -1,0 +1,58 @@
+// Live job-stream runner: the operational complement to Table 4.
+//
+// A Poisson stream of jobs arrives at one living cluster; each is placed at
+// its arrival instant by the configured policy and executes concurrently
+// with earlier jobs (and the background load), so placement quality
+// compounds through contention. Running the identical stream (same seed,
+// same jobs, same arrivals) under different policies isolates the
+// scheduler's end-to-end contribution: mean/percentile job completion time
+// and makespan.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+#include "ml/model.hpp"
+
+namespace lts::exp {
+
+enum class StreamPolicy {
+  kModel,        // the paper's prediction-and-ranking scheduler
+  kKubeDefault,  // default kube-scheduler choice for the driver pod
+  kRandom,       // uniform random node
+};
+
+struct StreamOptions {
+  int num_jobs = 40;
+  SimTime mean_interarrival = 12.0;  // seconds, exponential
+  std::uint64_t seed = 1;
+  EnvOptions env;
+  core::FeatureSet features = core::FeatureSet::kTable1;
+};
+
+struct StreamJobResult {
+  std::string scenario_id;
+  std::string driver_node;
+  SimTime submitted = 0.0;
+  double duration = 0.0;
+};
+
+struct StreamResult {
+  std::vector<StreamJobResult> jobs;
+  /// Last completion minus first submission.
+  double makespan = 0.0;
+};
+
+/// Runs the stream under `policy`. `model` is only used by kModel (may be
+/// null otherwise). The job sequence and arrival times depend only on
+/// (options.seed, matrix), never on the policy, so results are directly
+/// comparable across policies.
+StreamResult run_job_stream(StreamPolicy policy,
+                            std::shared_ptr<const ml::Regressor> model,
+                            const std::vector<Scenario>& matrix,
+                            const StreamOptions& options);
+
+}  // namespace lts::exp

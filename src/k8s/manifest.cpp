@@ -1,0 +1,81 @@
+#include "k8s/manifest.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace lts::k8s {
+
+std::string render_spark_job_manifest(const SparkJobManifestSpec& spec) {
+  std::ostringstream out;
+  out << "apiVersion: sparkoperator.k8s.io/v1beta2\n";
+  out << "kind: SparkApplication\n";
+  out << "metadata:\n";
+  out << "  name: " << spec.job_name << "\n";
+  out << "  labels:\n";
+  out << "    app.kubernetes.io/managed-by: lts-scheduler\n";
+  out << "    lts/app-type: " << spec.app_type << "\n";
+  out << "spec:\n";
+  out << "  type: Scala\n";
+  out << "  mode: cluster\n";
+  out << "  image: " << spec.image << "\n";
+  out << "  mainClass: org.lts.bench." << spec.app_type << "\n";
+  out << "  arguments:\n";
+  out << "    - \"" << spec.input_records << "\"\n";
+  if (!spec.extra_conf.empty()) {
+    out << "  sparkConf:\n";
+    for (const auto& [key, value] : spec.extra_conf) {
+      out << "    \"" << key << "\": \"" << value << "\"\n";
+    }
+  }
+  out << "  driver:\n";
+  out << "    cores: " << format_cpu_quantity(spec.driver_requests.cpu)
+      << "\n";
+  out << "    memory: " << format_memory_quantity(spec.driver_requests.memory)
+      << "\n";
+  if (!spec.pinned_node.empty()) {
+    out << "    affinity:\n";
+    out << "      nodeAffinity:\n";
+    out << "        requiredDuringSchedulingIgnoredDuringExecution:\n";
+    out << "          nodeSelectorTerms:\n";
+    out << "            - matchExpressions:\n";
+    out << "                - key: kubernetes.io/hostname\n";
+    out << "                  operator: In\n";
+    out << "                  values:\n";
+    out << "                    - " << spec.pinned_node << "\n";
+  }
+  out << "  executor:\n";
+  out << "    instances: " << spec.executors << "\n";
+  out << "    cores: " << format_cpu_quantity(spec.executor_requests.cpu)
+      << "\n";
+  out << "    memory: "
+      << format_memory_quantity(spec.executor_requests.memory) << "\n";
+  return out.str();
+}
+
+std::vector<std::string> parse_manifest_node_affinity(
+    const std::string& yaml) {
+  std::vector<std::string> values;
+  const auto lines = split(yaml, '\n');
+  bool in_values = false;
+  std::size_t values_indent = 0;
+  for (const auto& line : lines) {
+    const std::string_view trimmed = trim(line);
+    const std::size_t indent = line.size() - trim(line).size();
+    if (trimmed == "values:") {
+      in_values = true;
+      values_indent = indent;
+      continue;
+    }
+    if (in_values) {
+      if (starts_with(trimmed, "- ") && indent > values_indent) {
+        values.emplace_back(trim(trimmed.substr(2)));
+      } else {
+        in_values = false;
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace lts::k8s

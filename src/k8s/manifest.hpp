@@ -1,0 +1,38 @@
+// Declarative YAML manifest rendering — the Job Builder's output format
+// (§3.2.3): a SparkApplication-style resource with nodeAffinity injected to
+// pin the driver onto the scheduler-selected node.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "k8s/resources.hpp"
+
+namespace lts::k8s {
+
+/// Parameters of a Spark job manifest as the paper's Job Builder populates
+/// them: job type, input size, resource limits, and the chosen node.
+struct SparkJobManifestSpec {
+  std::string job_name;
+  std::string app_type;          // e.g. "sort", "join"
+  std::string image = "lts/spark:3.5";
+  long long input_records = 0;
+  int executors = 0;
+  Resources driver_requests;
+  Resources executor_requests;
+  std::string pinned_node;       // nodeAffinity target; empty = unpinned
+  std::map<std::string, std::string> extra_conf;  // sparkConf entries
+};
+
+/// Renders the manifest as Kubernetes YAML. Deterministic output (sorted
+/// conf keys) so tests can compare against golden strings.
+std::string render_spark_job_manifest(const SparkJobManifestSpec& spec);
+
+/// Extracts the nodeAffinity hostname values back out of a rendered
+/// manifest. Used by tests to verify the Job Builder round-trips, and by the
+/// simulated API path to honor the pin.
+std::vector<std::string> parse_manifest_node_affinity(
+    const std::string& yaml);
+
+}  // namespace lts::k8s

@@ -1,0 +1,58 @@
+#include "k8s/resources.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.hpp"
+
+namespace lts::k8s {
+
+double parse_cpu_quantity(const std::string& s) {
+  LTS_REQUIRE(!s.empty(), "parse_cpu_quantity: empty");
+  if (s.back() == 'm') {
+    char* end = nullptr;
+    const double milli = std::strtod(s.c_str(), &end);
+    LTS_REQUIRE(end != s.c_str(), "parse_cpu_quantity: malformed: " + s);
+    return milli / 1000.0;
+  }
+  char* end = nullptr;
+  const double cores = std::strtod(s.c_str(), &end);
+  LTS_REQUIRE(end != s.c_str(), "parse_cpu_quantity: malformed: " + s);
+  return cores;
+}
+
+Bytes parse_memory_quantity(const std::string& s) {
+  LTS_REQUIRE(!s.empty(), "parse_memory_quantity: empty");
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  LTS_REQUIRE(end != s.c_str(), "parse_memory_quantity: malformed: " + s);
+  const std::string suffix(end);
+  if (suffix.empty()) return value;
+  if (suffix == "Ki") return value * 1024.0;
+  if (suffix == "Mi") return value * 1024.0 * 1024.0;
+  if (suffix == "Gi") return value * 1024.0 * 1024.0 * 1024.0;
+  if (suffix == "Ti") return value * 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  if (suffix == "K" || suffix == "k") return value * 1e3;
+  if (suffix == "M") return value * 1e6;
+  if (suffix == "G") return value * 1e9;
+  throw Error("parse_memory_quantity: unknown suffix: " + s);
+}
+
+std::string format_cpu_quantity(double cores) {
+  const double milli = cores * 1000.0;
+  if (std::abs(milli - std::round(milli)) < 1e-9 &&
+      std::abs(cores - std::round(cores)) > 1e-9) {
+    return strformat("%.0fm", milli);
+  }
+  return strformat("%g", cores);
+}
+
+std::string format_memory_quantity(Bytes bytes) {
+  const double mi = bytes / (1024.0 * 1024.0);
+  if (mi >= 1024.0 && std::abs(mi / 1024.0 - std::round(mi / 1024.0)) < 1e-9) {
+    return strformat("%.0fGi", mi / 1024.0);
+  }
+  return strformat("%.0fMi", mi);
+}
+
+}  // namespace lts::k8s

@@ -1,0 +1,51 @@
+// Model interpretation tools — the "interpretable feature importance" the
+// paper cites as a reason to prefer tree ensembles (§3.2.3).
+//
+//   * permutation_importance: model-agnostic importance — how much held-out
+//     RMSE degrades when one feature column is shuffled. Unlike impurity
+//     importance it is comparable across model families and unbiased toward
+//     high-cardinality features.
+//   * partial_dependence: the model's average predicted response as one
+//     feature sweeps its observed range, all else marginalized — "what does
+//     the model think RTT does to job duration?"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace lts::ml {
+
+struct PermutationImportance {
+  std::vector<std::string> feature_names;
+  /// Mean RMSE increase (absolute, in target units) per feature, over
+  /// `repeats` shuffles.
+  std::vector<double> importance;
+  double baseline_rmse = 0.0;
+};
+
+/// Computes permutation importance of `model` on `data` (ideally held-out).
+PermutationImportance permutation_importance(const Regressor& model,
+                                             const Dataset& data,
+                                             int repeats = 3,
+                                             std::uint64_t seed = 17);
+
+struct PartialDependence {
+  std::string feature;
+  std::vector<double> grid;    // swept feature values
+  std::vector<double> response;  // mean prediction at each grid point
+};
+
+/// 1-D partial dependence of `model` over feature `feature_index`,
+/// evaluated on `grid_points` quantile-spaced values of that feature in
+/// `data`. `sample_rows` bounds the marginalization cost.
+PartialDependence partial_dependence(const Regressor& model,
+                                     const Dataset& data,
+                                     std::size_t feature_index,
+                                     int grid_points = 12,
+                                     std::size_t sample_rows = 200,
+                                     std::uint64_t seed = 17);
+
+}  // namespace lts::ml

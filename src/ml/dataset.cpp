@@ -1,0 +1,54 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lts::ml {
+
+Dataset::Dataset(Matrix x, std::vector<double> y,
+                 std::vector<std::string> feature_names)
+    : x_(std::move(x)), y_(std::move(y)),
+      feature_names_(std::move(feature_names)) {
+  LTS_REQUIRE(x_.rows() == y_.size(), "Dataset: X/y row count mismatch");
+  LTS_REQUIRE(feature_names_.empty() || feature_names_.size() == x_.cols(),
+              "Dataset: feature name count mismatch");
+}
+
+void Dataset::add_row(std::span<const double> features, double target) {
+  x_.push_row(features);
+  y_.push_back(target);
+}
+
+void Dataset::set_feature_names(std::vector<std::string> names) {
+  LTS_REQUIRE(x_.empty() || names.size() == x_.cols(),
+              "Dataset: feature name count mismatch");
+  feature_names_ = std::move(names);
+}
+
+Dataset Dataset::select(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.feature_names_ = feature_names_;
+  for (const std::size_t i : indices) {
+    LTS_REQUIRE(i < size(), "Dataset::select: index out of range");
+    out.add_row(row(i), y_[i]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::train_test_split(double test_fraction,
+                                                      Rng& rng) const {
+  LTS_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+              "train_test_split: fraction must be in (0, 1)");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const auto test_count = static_cast<std::size_t>(
+      std::max<double>(1.0, test_fraction * static_cast<double>(size())));
+  LTS_REQUIRE(test_count < size(), "train_test_split: dataset too small");
+  const std::span<const std::size_t> test_idx(order.data(), test_count);
+  const std::span<const std::size_t> train_idx(order.data() + test_count,
+                                               size() - test_count);
+  return {select(train_idx), select(test_idx)};
+}
+
+}  // namespace lts::ml

@@ -1,0 +1,51 @@
+// Supervised-learning dataset: a feature matrix, a target vector, and the
+// feature names that make model introspection (importances, serialized
+// schemas) meaningful.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace lts::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Matrix x, std::vector<double> y,
+          std::vector<std::string> feature_names);
+
+  std::size_t size() const { return y_.size(); }
+  std::size_t num_features() const { return x_.cols(); }
+  bool empty() const { return y_.empty(); }
+
+  const Matrix& x() const { return x_; }
+  const std::vector<double>& y() const { return y_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  std::span<const double> row(std::size_t i) const { return x_.row(i); }
+  double target(std::size_t i) const { return y_[i]; }
+
+  void add_row(std::span<const double> features, double target);
+  void set_feature_names(std::vector<std::string> names);
+
+  /// New dataset containing the given rows (duplicates allowed — used for
+  /// bootstrap resampling).
+  Dataset select(std::span<const std::size_t> indices) const;
+
+  /// Deterministic shuffled split; `test_fraction` of rows go to .second.
+  std::pair<Dataset, Dataset> train_test_split(double test_fraction,
+                                               Rng& rng) const;
+
+ private:
+  Matrix x_;
+  std::vector<double> y_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace lts::ml

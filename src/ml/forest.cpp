@@ -1,0 +1,177 @@
+#include "ml/forest.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lts::ml {
+
+ForestParams ForestParams::from_json(const Json& j) {
+  ForestParams p;
+  if (j.contains("n_estimators")) {
+    p.n_estimators = j.at("n_estimators").as_int();
+  }
+  if (j.contains("tree")) p.tree = TreeParams::from_json(j.at("tree"));
+  if (j.contains("bootstrap")) p.bootstrap = j.at("bootstrap").as_bool();
+  if (j.contains("max_features")) {
+    p.max_features = j.at("max_features").as_int();
+  }
+  if (j.contains("seed")) {
+    p.seed = static_cast<std::uint64_t>(j.at("seed").as_double());
+  }
+  if (j.contains("compute_oob")) {
+    p.compute_oob = j.at("compute_oob").as_bool();
+  }
+  return p;
+}
+
+Json ForestParams::to_json() const {
+  Json j = Json::object();
+  j["n_estimators"] = n_estimators;
+  j["tree"] = tree.to_json();
+  j["bootstrap"] = bootstrap;
+  j["max_features"] = max_features;
+  j["seed"] = static_cast<double>(seed);
+  j["compute_oob"] = compute_oob;
+  return j;
+}
+
+RandomForestRegressor::RandomForestRegressor(ForestParams params)
+    : params_(params) {
+  LTS_REQUIRE(params_.n_estimators >= 1,
+              "ForestParams: need at least one tree");
+}
+
+void RandomForestRegressor::fit(const Dataset& data) {
+  LTS_REQUIRE(!data.empty(), "RandomForest: empty training set");
+  num_features_ = data.num_features();
+  const std::size_t n = data.size();
+  const auto n_trees = static_cast<std::size_t>(params_.n_estimators);
+
+  TreeParams tree_params = params_.tree;
+  tree_params.max_features =
+      params_.max_features > 0
+          ? params_.max_features
+          : std::max(1, static_cast<int>(num_features_) / 3);
+
+  trees_.clear();
+  trees_.resize(n_trees);
+  std::vector<std::vector<std::size_t>> bags(n_trees);
+
+  // Each tree gets an independent Rng derived from (seed, tree index), so
+  // training is deterministic regardless of thread interleaving.
+  ThreadPool::global().parallel_for(n_trees, [&](std::size_t b) {
+    Rng rng(params_.seed * 0x9e3779b97f4a7c15ULL + b * 2 + 1);
+    std::vector<std::size_t> rows;
+    rows.reserve(n);
+    if (params_.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        rows.push_back(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+      }
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    }
+    auto tree = std::make_unique<DecisionTreeRegressor>(tree_params);
+    tree->fit_on(data, rows, rng);
+    trees_[b] = std::move(tree);
+    bags[b] = std::move(rows);
+  });
+
+  if (params_.compute_oob && params_.bootstrap) {
+    std::vector<double> oob_sum(n, 0.0);
+    std::vector<int> oob_count(n, 0);
+    std::vector<char> in_bag(n);
+    for (std::size_t b = 0; b < n_trees; ++b) {
+      std::fill(in_bag.begin(), in_bag.end(), 0);
+      for (const std::size_t r : bags[b]) in_bag[r] = 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!in_bag[i]) {
+          oob_sum[i] += trees_[b]->predict_row(data.row(i));
+          ++oob_count[i];
+        }
+      }
+    }
+    std::vector<double> truth, preds;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (oob_count[i] > 0) {
+        truth.push_back(data.target(i));
+        preds.push_back(oob_sum[i] / oob_count[i]);
+      }
+    }
+    oob_r2_ = truth.size() >= 2 ? r2_score(truth, preds)
+                                : std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+double RandomForestRegressor::predict_row(
+    std::span<const double> features) const {
+  LTS_REQUIRE(is_fitted(), "RandomForest: not fitted");
+  double total = 0.0;
+  for (const auto& tree : trees_) {
+    total += tree->predict_row(features);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+Prediction RandomForestRegressor::predict_with_uncertainty(
+    std::span<const double> features) const {
+  LTS_REQUIRE(is_fitted(), "RandomForest: not fitted");
+  RunningStats stats;
+  for (const auto& tree : trees_) {
+    stats.add(tree->predict_row(features));
+  }
+  return Prediction{stats.mean(), stats.stddev()};
+}
+
+const DecisionTreeRegressor& RandomForestRegressor::tree(
+    std::size_t i) const {
+  LTS_REQUIRE(i < trees_.size(), "RandomForest: tree index out of range");
+  return *trees_[i];
+}
+
+Json RandomForestRegressor::to_json() const {
+  Json j = Json::object();
+  j["params"] = params_.to_json();
+  j["num_features"] = num_features_;
+  JsonArray trees;
+  trees.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    trees.push_back(tree->to_json());
+  }
+  j["trees"] = Json(std::move(trees));
+  return j;
+}
+
+void RandomForestRegressor::from_json(const Json& j) {
+  params_ = ForestParams::from_json(j.at("params"));
+  num_features_ = static_cast<std::size_t>(j.at("num_features").as_double());
+  trees_.clear();
+  for (const auto& entry : j.at("trees").as_array()) {
+    auto tree = std::make_unique<DecisionTreeRegressor>();
+    tree->from_json(entry);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForestRegressor::feature_importances() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto imp = tree->feature_importances();
+    for (std::size_t f = 0; f < total.size() && f < imp.size(); ++f) {
+      total[f] += imp[f];
+    }
+  }
+  const double sum = std::accumulate(total.begin(), total.end(), 0.0);
+  if (sum > 0.0) {
+    for (auto& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace lts::ml

@@ -1,0 +1,55 @@
+// Random forest regressor: bootstrap-bagged CART trees with per-split
+// feature subsampling. The paper's best-performing model family (Table 4).
+#pragma once
+
+#include <memory>
+
+#include "ml/tree.hpp"
+
+namespace lts::ml {
+
+struct ForestParams {
+  int n_estimators = 100;
+  TreeParams tree;
+  bool bootstrap = true;
+  /// Features per split: 0 selects the regression heuristic max(1, p/3).
+  int max_features = 0;
+  std::uint64_t seed = 42;
+  /// Compute the out-of-bag R^2 during fit (costs one pass per tree).
+  bool compute_oob = false;
+
+  static ForestParams from_json(const Json& j);
+  Json to_json() const;
+};
+
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict_row(std::span<const double> features) const override;
+  /// Mean and standard deviation of the per-tree predictions: the classic
+  /// bagging uncertainty estimate.
+  Prediction predict_with_uncertainty(
+      std::span<const double> features) const override;
+  bool is_fitted() const override { return !trees_.empty(); }
+  std::string name() const override { return "random_forest"; }
+  Json to_json() const override;
+  void from_json(const Json& j) override;
+  std::vector<double> feature_importances() const override;
+
+  const ForestParams& params() const { return params_; }
+  std::size_t num_trees() const { return trees_.size(); }
+  const DecisionTreeRegressor& tree(std::size_t i) const;
+
+  /// Out-of-bag R^2; NaN unless compute_oob was set at fit time.
+  double oob_r2() const { return oob_r2_; }
+
+ private:
+  ForestParams params_;
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
+  std::size_t num_features_ = 0;
+  double oob_r2_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+}  // namespace lts::ml

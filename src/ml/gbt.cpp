@@ -1,0 +1,337 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace lts::ml {
+
+GbtParams GbtParams::from_json(const Json& j) {
+  GbtParams p;
+  if (j.contains("n_rounds")) p.n_rounds = j.at("n_rounds").as_int();
+  if (j.contains("learning_rate")) {
+    p.learning_rate = j.at("learning_rate").as_double();
+  }
+  if (j.contains("max_depth")) p.max_depth = j.at("max_depth").as_int();
+  if (j.contains("reg_lambda")) p.reg_lambda = j.at("reg_lambda").as_double();
+  if (j.contains("gamma")) p.gamma = j.at("gamma").as_double();
+  if (j.contains("min_child_weight")) {
+    p.min_child_weight = j.at("min_child_weight").as_double();
+  }
+  if (j.contains("subsample")) p.subsample = j.at("subsample").as_double();
+  if (j.contains("colsample")) p.colsample = j.at("colsample").as_double();
+  if (j.contains("early_stopping_rounds")) {
+    p.early_stopping_rounds = j.at("early_stopping_rounds").as_int();
+  }
+  if (j.contains("validation_fraction")) {
+    p.validation_fraction = j.at("validation_fraction").as_double();
+  }
+  if (j.contains("seed")) {
+    p.seed = static_cast<std::uint64_t>(j.at("seed").as_double());
+  }
+  return p;
+}
+
+Json GbtParams::to_json() const {
+  Json j = Json::object();
+  j["n_rounds"] = n_rounds;
+  j["learning_rate"] = learning_rate;
+  j["max_depth"] = max_depth;
+  j["reg_lambda"] = reg_lambda;
+  j["gamma"] = gamma;
+  j["min_child_weight"] = min_child_weight;
+  j["subsample"] = subsample;
+  j["colsample"] = colsample;
+  j["early_stopping_rounds"] = early_stopping_rounds;
+  j["validation_fraction"] = validation_fraction;
+  j["seed"] = static_cast<double>(seed);
+  return j;
+}
+
+GradientBoostedTrees::GradientBoostedTrees(GbtParams params)
+    : params_(params) {
+  LTS_REQUIRE(params_.n_rounds >= 1, "GbtParams: n_rounds must be >= 1");
+  LTS_REQUIRE(params_.learning_rate > 0.0 && params_.learning_rate <= 1.0,
+              "GbtParams: learning_rate must be in (0, 1]");
+  LTS_REQUIRE(params_.max_depth >= 1, "GbtParams: max_depth must be >= 1");
+  LTS_REQUIRE(params_.reg_lambda >= 0.0, "GbtParams: reg_lambda must be >= 0");
+  LTS_REQUIRE(params_.subsample > 0.0 && params_.subsample <= 1.0,
+              "GbtParams: subsample must be in (0, 1]");
+  LTS_REQUIRE(params_.colsample > 0.0 && params_.colsample <= 1.0,
+              "GbtParams: colsample must be in (0, 1]");
+}
+
+struct GradientBoostedTrees::TreeBuildContext {
+  const Dataset* data = nullptr;
+  const std::vector<double>* grad = nullptr;
+  const std::vector<double>* hess = nullptr;
+  std::vector<std::size_t> feature_pool;  // columns usable this round
+  const GbtParams* params = nullptr;
+  std::vector<double>* importance = nullptr;
+};
+
+int GradientBoostedTrees::build_node(TreeBuildContext& ctx,
+                                     std::vector<std::size_t>& rows,
+                                     std::size_t begin, std::size_t end,
+                                     int depth, std::vector<GbtNode>& tree) {
+  const auto& grad = *ctx.grad;
+  const auto& hess = *ctx.hess;
+  double g_total = 0.0, h_total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    g_total += grad[rows[i]];
+    h_total += hess[rows[i]];
+  }
+  const double lambda = ctx.params->reg_lambda;
+
+  const int node_index = static_cast<int>(tree.size());
+  tree.push_back(GbtNode{});
+  // Leaf weight (may be overwritten by a split below); shrinkage applied
+  // here so prediction is a plain sum over trees.
+  tree[static_cast<std::size_t>(node_index)].value =
+      -g_total / (h_total + lambda) * ctx.params->learning_rate;
+
+  if (depth >= ctx.params->max_depth || end - begin < 2) return node_index;
+
+  // Exact greedy split search over the round's feature pool.
+  double best_gain = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double parent_term = g_total * g_total / (h_total + lambda);
+  std::vector<std::pair<double, std::size_t>> vals;  // (x, row)
+  vals.reserve(end - begin);
+  for (const std::size_t f : ctx.feature_pool) {
+    vals.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      vals.emplace_back(ctx.data->x()(rows[i], f), rows[i]);
+    }
+    std::sort(vals.begin(), vals.end());
+    double g_left = 0.0, h_left = 0.0;
+    for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+      g_left += grad[vals[i].second];
+      h_left += hess[vals[i].second];
+      if (vals[i].first == vals[i + 1].first) continue;
+      const double h_right = h_total - h_left;
+      if (h_left < ctx.params->min_child_weight ||
+          h_right < ctx.params->min_child_weight) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double gain =
+          0.5 * (g_left * g_left / (h_left + lambda) +
+                 g_right * g_right / (h_right + lambda) - parent_term) -
+          ctx.params->gamma;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  (*ctx.importance)[static_cast<std::size_t>(best_feature)] += best_gain;
+
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+        return ctx.data->x()(r, static_cast<std::size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - rows.begin());
+  LTS_ASSERT(mid > begin && mid < end);
+
+  const int left = build_node(ctx, rows, begin, mid, depth + 1, tree);
+  const int right = build_node(ctx, rows, mid, end, depth + 1, tree);
+  auto& node = tree[static_cast<std::size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+void GradientBoostedTrees::fit(const Dataset& data) {
+  LTS_REQUIRE(data.size() >= 4, "GBT: need at least 4 samples");
+  num_features_ = data.num_features();
+  trees_.clear();
+  importance_.assign(num_features_, 0.0);
+  best_val_rmse_ = std::numeric_limits<double>::quiet_NaN();
+  Rng rng(params_.seed);
+
+  // Optional holdout for early stopping.
+  std::vector<std::size_t> train_rows(data.size());
+  std::iota(train_rows.begin(), train_rows.end(), std::size_t{0});
+  std::vector<std::size_t> val_rows;
+  if (params_.early_stopping_rounds > 0 &&
+      params_.validation_fraction > 0.0) {
+    rng.shuffle(train_rows);
+    const auto n_val = static_cast<std::size_t>(
+        std::max(1.0, params_.validation_fraction *
+                          static_cast<double>(data.size())));
+    if (n_val + 4 <= data.size()) {
+      val_rows.assign(train_rows.end() - static_cast<std::ptrdiff_t>(n_val),
+                      train_rows.end());
+      train_rows.resize(train_rows.size() - n_val);
+    }
+  }
+
+  base_score_ = mean(data.y());
+  std::vector<double> pred(data.size(), base_score_);
+  std::vector<double> grad(data.size(), 0.0);
+  std::vector<double> hess(data.size(), 1.0);
+
+  double best_rmse = std::numeric_limits<double>::infinity();
+  int rounds_since_best = 0;
+  std::size_t best_n_trees = 0;
+
+  for (int round = 0; round < params_.n_rounds; ++round) {
+    for (const std::size_t i : train_rows) {
+      grad[i] = pred[i] - data.target(i);  // d/dp 1/2 (p - y)^2
+    }
+    // Row subsample for this round.
+    std::vector<std::size_t> rows;
+    if (params_.subsample < 1.0) {
+      for (const std::size_t i : train_rows) {
+        if (rng.uniform() < params_.subsample) rows.push_back(i);
+      }
+      if (rows.size() < 2) rows = train_rows;
+    } else {
+      rows = train_rows;
+    }
+    // Column subsample.
+    TreeBuildContext ctx;
+    ctx.data = &data;
+    ctx.grad = &grad;
+    ctx.hess = &hess;
+    ctx.params = &params_;
+    ctx.importance = &importance_;
+    if (params_.colsample < 1.0) {
+      const auto k = static_cast<std::size_t>(std::max(
+          1.0, params_.colsample * static_cast<double>(num_features_)));
+      ctx.feature_pool = rng.sample_without_replacement(num_features_, k);
+    } else {
+      ctx.feature_pool.resize(num_features_);
+      std::iota(ctx.feature_pool.begin(), ctx.feature_pool.end(),
+                std::size_t{0});
+    }
+
+    std::vector<GbtNode> tree;
+    build_node(ctx, rows, 0, rows.size(), 0, tree);
+    // Update all predictions (train + validation) with the new tree.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      pred[i] += tree_predict(tree, data.row(i));
+    }
+    trees_.push_back(std::move(tree));
+
+    if (!val_rows.empty()) {
+      double acc = 0.0;
+      for (const std::size_t i : val_rows) {
+        const double d = pred[i] - data.target(i);
+        acc += d * d;
+      }
+      const double val_rmse =
+          std::sqrt(acc / static_cast<double>(val_rows.size()));
+      if (val_rmse + 1e-12 < best_rmse) {
+        best_rmse = val_rmse;
+        best_n_trees = trees_.size();
+        rounds_since_best = 0;
+      } else if (++rounds_since_best >= params_.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+  if (!val_rows.empty() && best_n_trees > 0) {
+    trees_.resize(best_n_trees);  // roll back to the best iteration
+    best_val_rmse_ = best_rmse;
+  }
+  fitted_ = true;
+}
+
+double GradientBoostedTrees::tree_predict(const std::vector<GbtNode>& tree,
+                                          std::span<const double> features) {
+  int idx = 0;
+  while (!tree[static_cast<std::size_t>(idx)].is_leaf()) {
+    const auto& node = tree[static_cast<std::size_t>(idx)];
+    idx = features[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+  return tree[static_cast<std::size_t>(idx)].value;
+}
+
+double GradientBoostedTrees::predict_row(
+    std::span<const double> features) const {
+  LTS_REQUIRE(fitted_, "GBT: not fitted");
+  LTS_REQUIRE(features.size() == num_features_,
+              "GBT: feature width mismatch");
+  double y = base_score_;
+  for (const auto& tree : trees_) {
+    y += tree_predict(tree, features);
+  }
+  return y;
+}
+
+Json GradientBoostedTrees::to_json() const {
+  Json j = Json::object();
+  j["params"] = params_.to_json();
+  j["fitted"] = fitted_;
+  j["base_score"] = base_score_;
+  j["num_features"] = num_features_;
+  JsonArray trees;
+  trees.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    JsonArray nodes;
+    nodes.reserve(tree.size());
+    for (const auto& node : tree) {
+      JsonArray fields;
+      fields.emplace_back(node.feature);
+      fields.emplace_back(node.threshold);
+      fields.emplace_back(node.left);
+      fields.emplace_back(node.right);
+      fields.emplace_back(node.value);
+      nodes.emplace_back(std::move(fields));
+    }
+    trees.emplace_back(std::move(nodes));
+  }
+  j["trees"] = Json(std::move(trees));
+  j["importance"] = Json::from_doubles(importance_);
+  return j;
+}
+
+void GradientBoostedTrees::from_json(const Json& j) {
+  params_ = GbtParams::from_json(j.at("params"));
+  fitted_ = j.at("fitted").as_bool();
+  base_score_ = j.at("base_score").as_double();
+  num_features_ = static_cast<std::size_t>(j.at("num_features").as_double());
+  trees_.clear();
+  for (const auto& tree_json : j.at("trees").as_array()) {
+    std::vector<GbtNode> tree;
+    for (const auto& entry : tree_json.as_array()) {
+      const auto& f = entry.as_array();
+      LTS_REQUIRE(f.size() == 5, "GBT: malformed node");
+      GbtNode node;
+      node.feature = f[0].as_int();
+      node.threshold = f[1].as_double();
+      node.left = f[2].as_int();
+      node.right = f[3].as_int();
+      node.value = f[4].as_double();
+      tree.push_back(node);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  importance_ = j.at("importance").to_doubles();
+}
+
+std::vector<double> GradientBoostedTrees::feature_importances() const {
+  std::vector<double> imp = importance_;
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : imp) v /= total;
+  }
+  return imp;
+}
+
+}  // namespace lts::ml

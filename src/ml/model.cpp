@@ -1,0 +1,127 @@
+#include "ml/model.hpp"
+
+#include <cmath>
+
+#include <fstream>
+#include <sstream>
+
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear.hpp"
+#include "ml/tree.hpp"
+
+namespace lts::ml {
+
+std::vector<double> Regressor::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out.push_back(predict_row(x.row(i)));
+  }
+  return out;
+}
+
+LogTargetRegressor::LogTargetRegressor(std::unique_ptr<Regressor> inner)
+    : inner_(std::move(inner)) {
+  LTS_REQUIRE(inner_ != nullptr, "LogTargetRegressor: null inner model");
+}
+
+void LogTargetRegressor::fit(const Dataset& data) {
+  std::vector<double> log_y;
+  log_y.reserve(data.size());
+  for (const double y : data.y()) {
+    LTS_REQUIRE(y > 0.0, "LogTargetRegressor: targets must be positive");
+    log_y.push_back(std::log(y));
+  }
+  Matrix x = data.x();
+  inner_->fit(Dataset(std::move(x), std::move(log_y), data.feature_names()));
+}
+
+double LogTargetRegressor::predict_row(
+    std::span<const double> features) const {
+  return std::exp(inner_->predict_row(features));
+}
+
+Prediction LogTargetRegressor::predict_with_uncertainty(
+    std::span<const double> features) const {
+  const Prediction log_space = inner_->predict_with_uncertainty(features);
+  // First-order delta method: exp transform scales the spread by the
+  // predicted value.
+  const double mean = std::exp(log_space.mean);
+  return Prediction{mean, mean * log_space.stddev};
+}
+
+bool LogTargetRegressor::is_fitted() const { return inner_->is_fitted(); }
+
+Json LogTargetRegressor::to_json() const { return inner_->to_json(); }
+
+void LogTargetRegressor::from_json(const Json& j) { inner_->from_json(j); }
+
+std::vector<double> LogTargetRegressor::feature_importances() const {
+  return inner_->feature_importances();
+}
+
+std::unique_ptr<Regressor> create_regressor(const std::string& name,
+                                            const Json& params) {
+  const Json p = params.is_object() ? params : Json::object();
+  // "log_target": true wraps the model in a LogTargetRegressor. The inner
+  // parameter parsers ignore the extra key.
+  if (p.contains("log_target") && p.at("log_target").as_bool()) {
+    Json inner_params = p;
+    inner_params["log_target"] = false;
+    return std::make_unique<LogTargetRegressor>(
+        create_regressor(name, inner_params));
+  }
+  if (name == "linear") {
+    return std::make_unique<LinearRegression>(LinearParams::from_json(p));
+  }
+  if (name == "decision_tree") {
+    return std::make_unique<DecisionTreeRegressor>(TreeParams::from_json(p));
+  }
+  if (name == "random_forest") {
+    return std::make_unique<RandomForestRegressor>(ForestParams::from_json(p));
+  }
+  if (name == "xgboost") {
+    return std::make_unique<GradientBoostedTrees>(GbtParams::from_json(p));
+  }
+  throw Error("create_regressor: unknown model name '" + name + "'");
+}
+
+std::vector<std::string> registered_regressors() {
+  return {"linear", "decision_tree", "random_forest", "xgboost"};
+}
+
+Json model_to_json(const Regressor& model) {
+  Json j = Json::object();
+  j["type"] = model.name();
+  j["log_target"] =
+      dynamic_cast<const LogTargetRegressor*>(&model) != nullptr;
+  j["state"] = model.to_json();
+  return j;
+}
+
+std::unique_ptr<Regressor> model_from_json(const Json& j) {
+  auto model = create_regressor(j.at("type").as_string());
+  if (j.contains("log_target") && j.at("log_target").as_bool()) {
+    model = std::make_unique<LogTargetRegressor>(std::move(model));
+  }
+  model->from_json(j.at("state"));
+  return model;
+}
+
+void save_model(const Regressor& model, const std::string& path) {
+  std::ofstream f(path);
+  LTS_REQUIRE(f.good(), "save_model: cannot open " + path);
+  f << model_to_json(model).dump(2);
+  LTS_REQUIRE(f.good(), "save_model: write failed for " + path);
+}
+
+std::unique_ptr<Regressor> load_model(const std::string& path) {
+  std::ifstream f(path);
+  LTS_REQUIRE(f.good(), "load_model: cannot open " + path);
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  return model_from_json(Json::parse(buffer.str()));
+}
+
+}  // namespace lts::ml

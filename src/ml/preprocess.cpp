@@ -1,0 +1,113 @@
+#include "ml/preprocess.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace lts::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  LTS_REQUIRE(x.rows() >= 1, "StandardScaler: empty matrix");
+  const std::size_t p = x.cols();
+  mean_.assign(p, 0.0);
+  std_.assign(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    RunningStats stats;
+    for (std::size_t i = 0; i < x.rows(); ++i) stats.add(x(i, j));
+    mean_[j] = stats.mean();
+    std_[j] = stats.stddev() > 1e-12 ? stats.stddev() : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  LTS_REQUIRE(is_fitted(), "StandardScaler: not fitted");
+  LTS_REQUIRE(x.cols() == mean_.size(), "StandardScaler: width mismatch");
+  Matrix z(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      z(i, j) = (x(i, j) - mean_[j]) / std_[j];
+    }
+  }
+  return z;
+}
+
+std::vector<double> StandardScaler::transform_row(
+    std::span<const double> row) const {
+  LTS_REQUIRE(is_fitted(), "StandardScaler: not fitted");
+  LTS_REQUIRE(row.size() == mean_.size(), "StandardScaler: width mismatch");
+  std::vector<double> z(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    z[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return z;
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& z) const {
+  LTS_REQUIRE(is_fitted(), "StandardScaler: not fitted");
+  LTS_REQUIRE(z.cols() == mean_.size(), "StandardScaler: width mismatch");
+  Matrix x(z.rows(), z.cols());
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    for (std::size_t j = 0; j < z.cols(); ++j) {
+      x(i, j) = z(i, j) * std_[j] + mean_[j];
+    }
+  }
+  return x;
+}
+
+Json StandardScaler::to_json() const {
+  Json j = Json::object();
+  j["mean"] = Json::from_doubles(mean_);
+  j["std"] = Json::from_doubles(std_);
+  return j;
+}
+
+StandardScaler StandardScaler::from_json(const Json& j) {
+  StandardScaler s;
+  s.mean_ = j.at("mean").to_doubles();
+  s.std_ = j.at("std").to_doubles();
+  LTS_REQUIRE(s.mean_.size() == s.std_.size(),
+              "StandardScaler: malformed JSON");
+  return s;
+}
+
+void OneHotEncoder::fit(std::span<const std::string> values) {
+  LTS_REQUIRE(!values.empty(), "OneHotEncoder: no values");
+  categories_.assign(values.begin(), values.end());
+  std::sort(categories_.begin(), categories_.end());
+  categories_.erase(std::unique(categories_.begin(), categories_.end()),
+                    categories_.end());
+}
+
+int OneHotEncoder::category_index(const std::string& value) const {
+  const auto it =
+      std::lower_bound(categories_.begin(), categories_.end(), value);
+  if (it == categories_.end() || *it != value) return -1;
+  return static_cast<int>(it - categories_.begin());
+}
+
+std::vector<double> OneHotEncoder::transform_one(
+    const std::string& value) const {
+  LTS_REQUIRE(is_fitted(), "OneHotEncoder: not fitted");
+  std::vector<double> out(categories_.size(), 0.0);
+  const int idx = category_index(value);
+  if (idx >= 0) out[static_cast<std::size_t>(idx)] = 1.0;
+  return out;
+}
+
+Json OneHotEncoder::to_json() const {
+  Json j = Json::object();
+  JsonArray cats;
+  for (const auto& c : categories_) cats.emplace_back(c);
+  j["categories"] = Json(std::move(cats));
+  return j;
+}
+
+OneHotEncoder OneHotEncoder::from_json(const Json& j) {
+  OneHotEncoder enc;
+  for (const auto& c : j.at("categories").as_array()) {
+    enc.categories_.push_back(c.as_string());
+  }
+  return enc;
+}
+
+}  // namespace lts::ml

@@ -1,0 +1,63 @@
+// Feature preprocessing: standardization and categorical one-hot encoding.
+//
+// The core FeatureConstructor emits numeric vectors directly, but the
+// preprocessing stage exists for the broader "train on existing logs"
+// workflow (§2.3): raw CSV logs carry categorical columns (application
+// type, node name) that must be encoded before model fitting.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/json.hpp"
+
+namespace lts::ml {
+
+/// Zero-mean unit-variance scaling per column; constant columns pass
+/// through unchanged.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  bool is_fitted() const { return !mean_.empty(); }
+
+  Matrix transform(const Matrix& x) const;
+  std::vector<double> transform_row(std::span<const double> row) const;
+  Matrix inverse_transform(const Matrix& z) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+  Json to_json() const;
+  static StandardScaler from_json(const Json& j);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Maps string categories to one-hot vectors; unseen categories at
+/// transform time map to the all-zero vector (tolerated, not an error —
+/// tree models are robust to it, matching the paper's robustness claims).
+class OneHotEncoder {
+ public:
+  void fit(std::span<const std::string> values);
+  bool is_fitted() const { return !categories_.empty(); }
+
+  std::size_t num_categories() const { return categories_.size(); }
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  std::vector<double> transform_one(const std::string& value) const;
+  /// Index of a category, -1 if unseen.
+  int category_index(const std::string& value) const;
+
+  Json to_json() const;
+  static OneHotEncoder from_json(const Json& j);
+
+ private:
+  std::vector<std::string> categories_;  // sorted, deduplicated
+};
+
+}  // namespace lts::ml

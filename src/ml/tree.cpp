@@ -1,0 +1,267 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lts::ml {
+
+TreeParams TreeParams::from_json(const Json& j) {
+  TreeParams p;
+  if (j.contains("max_depth")) p.max_depth = j.at("max_depth").as_int();
+  if (j.contains("min_samples_split")) {
+    p.min_samples_split = j.at("min_samples_split").as_int();
+  }
+  if (j.contains("min_samples_leaf")) {
+    p.min_samples_leaf = j.at("min_samples_leaf").as_int();
+  }
+  if (j.contains("max_features")) {
+    p.max_features = j.at("max_features").as_int();
+  }
+  if (j.contains("min_impurity_decrease")) {
+    p.min_impurity_decrease = j.at("min_impurity_decrease").as_double();
+  }
+  return p;
+}
+
+Json TreeParams::to_json() const {
+  Json j = Json::object();
+  j["max_depth"] = max_depth;
+  j["min_samples_split"] = min_samples_split;
+  j["min_samples_leaf"] = min_samples_leaf;
+  j["max_features"] = max_features;
+  j["min_impurity_decrease"] = min_impurity_decrease;
+  return j;
+}
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params,
+                                             std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  LTS_REQUIRE(params_.max_depth >= 1, "TreeParams: max_depth must be >= 1");
+  LTS_REQUIRE(params_.min_samples_leaf >= 1,
+              "TreeParams: min_samples_leaf must be >= 1");
+  LTS_REQUIRE(params_.min_samples_split >= 2,
+              "TreeParams: min_samples_split must be >= 2");
+}
+
+void DecisionTreeRegressor::fit(const Dataset& data) {
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  Rng rng(seed_);
+  fit_on(data, rows, rng);
+}
+
+void DecisionTreeRegressor::fit_on(const Dataset& data,
+                                   std::span<const std::size_t> rows,
+                                   Rng& rng) {
+  LTS_REQUIRE(!rows.empty(), "DecisionTree: empty training set");
+  num_features_ = data.num_features();
+  nodes_.clear();
+  importance_.assign(num_features_, 0.0);
+  std::vector<std::size_t> working(rows.begin(), rows.end());
+  build(data, working, 0, working.size(), 0, rng);
+}
+
+int DecisionTreeRegressor::build(const Dataset& data,
+                                 std::vector<std::size_t>& rows,
+                                 std::size_t begin, std::size_t end,
+                                 int depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += data.target(rows[i]);
+  const double node_mean = sum / static_cast<double>(n);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{});
+  nodes_[static_cast<std::size_t>(node_index)].value = node_mean;
+  nodes_[static_cast<std::size_t>(node_index)].n_samples =
+      static_cast<int>(n);
+
+  const bool can_split =
+      depth < params_.max_depth &&
+      n >= static_cast<std::size_t>(params_.min_samples_split) &&
+      n >= 2 * static_cast<std::size_t>(params_.min_samples_leaf);
+  if (!can_split) return node_index;
+
+  const auto split =
+      best_split(data, std::span<const std::size_t>(
+                           rows.data() + begin, n), rng);
+  if (!split.has_value()) return node_index;
+
+  // Partition rows in place around the threshold.
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) {
+        return data.x()(r, static_cast<std::size_t>(split->feature)) <=
+               split->threshold;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - rows.begin());
+  LTS_ASSERT(mid > begin && mid < end);
+
+  importance_[static_cast<std::size_t>(split->feature)] += split->gain;
+
+  const int left = build(data, rows, begin, mid, depth + 1, rng);
+  const int right = build(data, rows, mid, end, depth + 1, rng);
+  auto& node = nodes_[static_cast<std::size_t>(node_index)];
+  node.feature = split->feature;
+  node.threshold = split->threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+std::optional<DecisionTreeRegressor::Split>
+DecisionTreeRegressor::best_split(const Dataset& data,
+                                  std::span<const std::size_t> rows,
+                                  Rng& rng) const {
+  const std::size_t n = rows.size();
+  double sum = 0.0, sumsq = 0.0;
+  for (const std::size_t r : rows) {
+    const double y = data.target(r);
+    sum += y;
+    sumsq += y * y;
+  }
+  const double parent_sse = sumsq - sum * sum / static_cast<double>(n);
+  if (parent_sse <= 1e-12) return std::nullopt;  // pure node
+
+  // Candidate features: all, or a fresh random subset (random forest mode).
+  std::vector<std::size_t> features;
+  if (params_.max_features > 0 &&
+      static_cast<std::size_t>(params_.max_features) < num_features_) {
+    features = rng.sample_without_replacement(
+        num_features_, static_cast<std::size_t>(params_.max_features));
+  } else {
+    features.resize(num_features_);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  }
+
+  Split best;
+  std::vector<std::pair<double, double>> vals;  // (x, y)
+  vals.reserve(n);
+  const auto min_leaf = static_cast<std::size_t>(params_.min_samples_leaf);
+  for (const std::size_t f : features) {
+    vals.clear();
+    for (const std::size_t r : rows) {
+      vals.emplace_back(data.x()(r, f), data.target(r));
+    }
+    std::sort(vals.begin(), vals.end());
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += vals[i].second;
+      if (i + 1 < min_leaf || n - i - 1 < min_leaf) continue;
+      if (vals[i].first == vals[i + 1].first) continue;  // no boundary here
+      const double nl = static_cast<double>(i + 1);
+      const double nr = static_cast<double>(n - i - 1);
+      const double right_sum = sum - left_sum;
+      // SSE decrease = parent_sse - (left_sse + right_sse); the sumsq terms
+      // cancel, leaving the between-group variance gain below.
+      const double gain = left_sum * left_sum / nl +
+                          right_sum * right_sum / nr -
+                          sum * sum / static_cast<double>(n);
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+        best.gain = gain;
+      }
+    }
+  }
+  if (best.feature < 0 || best.gain < params_.min_impurity_decrease ||
+      best.gain <= 1e-12) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+double DecisionTreeRegressor::predict_row(
+    std::span<const double> features) const {
+  LTS_REQUIRE(is_fitted(), "DecisionTree: not fitted");
+  LTS_REQUIRE(features.size() == num_features_,
+              "DecisionTree: feature width mismatch");
+  int idx = 0;
+  while (!nodes_[static_cast<std::size_t>(idx)].is_leaf()) {
+    const auto& node = nodes_[static_cast<std::size_t>(idx)];
+    idx = features[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(idx)].value;
+}
+
+Json DecisionTreeRegressor::to_json() const {
+  Json j = Json::object();
+  j["params"] = params_.to_json();
+  j["num_features"] = num_features_;
+  JsonArray nodes;
+  nodes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    JsonArray fields;
+    fields.emplace_back(node.feature);
+    fields.emplace_back(node.threshold);
+    fields.emplace_back(node.left);
+    fields.emplace_back(node.right);
+    fields.emplace_back(node.value);
+    fields.emplace_back(node.n_samples);
+    nodes.emplace_back(std::move(fields));
+  }
+  j["nodes"] = Json(std::move(nodes));
+  j["importance"] = Json::from_doubles(importance_);
+  return j;
+}
+
+void DecisionTreeRegressor::from_json(const Json& j) {
+  params_ = TreeParams::from_json(j.at("params"));
+  num_features_ = static_cast<std::size_t>(j.at("num_features").as_double());
+  nodes_.clear();
+  for (const auto& entry : j.at("nodes").as_array()) {
+    const auto& f = entry.as_array();
+    LTS_REQUIRE(f.size() == 6, "DecisionTree: malformed node");
+    TreeNode node;
+    node.feature = f[0].as_int();
+    node.threshold = f[1].as_double();
+    node.left = f[2].as_int();
+    node.right = f[3].as_int();
+    node.value = f[4].as_double();
+    node.n_samples = f[5].as_int();
+    nodes_.push_back(node);
+  }
+  importance_ = j.at("importance").to_doubles();
+}
+
+std::vector<double> DecisionTreeRegressor::feature_importances() const {
+  std::vector<double> imp = importance_;
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : imp) v /= total;
+  }
+  return imp;
+}
+
+int DecisionTreeRegressor::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the node array.
+  std::vector<int> depth_of(nodes_.size(), 0);
+  int max_depth = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& node = nodes_[i];
+    if (!node.is_leaf()) {
+      depth_of[static_cast<std::size_t>(node.left)] =
+          depth_of[i] + 1;
+      depth_of[static_cast<std::size_t>(node.right)] =
+          depth_of[i] + 1;
+    }
+    max_depth = std::max(max_depth, depth_of[i]);
+  }
+  return max_depth;
+}
+
+std::size_t DecisionTreeRegressor::num_leaves() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node.is_leaf()) ++count;
+  }
+  return count;
+}
+
+}  // namespace lts::ml

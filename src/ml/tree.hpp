@@ -1,0 +1,81 @@
+// CART regression tree with variance (SSE) splitting — the building block
+// of the random forest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ml/model.hpp"
+#include "util/rng.hpp"
+
+namespace lts::ml {
+
+struct TreeParams {
+  int max_depth = 12;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  /// Features considered per split; 0 = all. Random forests pass a subset
+  /// size here to decorrelate trees.
+  int max_features = 0;
+  /// Minimum SSE decrease a split must achieve.
+  double min_impurity_decrease = 0.0;
+
+  static TreeParams from_json(const Json& j);
+  Json to_json() const;
+};
+
+struct TreeNode {
+  int feature = -1;         // -1 marks a leaf
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  double value = 0.0;       // leaf prediction (mean of targets)
+  int n_samples = 0;
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeParams params = {},
+                                 std::uint64_t seed = 7);
+
+  void fit(const Dataset& data) override;
+
+  /// Fits on a row subset (duplicates allowed — bootstrap bags). `rng`
+  /// drives per-split feature subsampling when params.max_features > 0.
+  void fit_on(const Dataset& data, std::span<const std::size_t> rows,
+              Rng& rng);
+
+  double predict_row(std::span<const double> features) const override;
+  bool is_fitted() const override { return !nodes_.empty(); }
+  std::string name() const override { return "decision_tree"; }
+  Json to_json() const override;
+  void from_json(const Json& j) override;
+  std::vector<double> feature_importances() const override;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  int depth() const;
+  std::size_t num_leaves() const;
+
+ private:
+  struct Split {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;  // SSE decrease
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& rows,
+            std::size_t begin, std::size_t end, int depth, Rng& rng);
+  std::optional<Split> best_split(const Dataset& data,
+                                  std::span<const std::size_t> rows,
+                                  Rng& rng) const;
+
+  TreeParams params_;
+  std::uint64_t seed_;
+  std::size_t num_features_ = 0;
+  std::vector<TreeNode> nodes_;
+  std::vector<double> importance_;  // raw SSE decrease per feature
+};
+
+}  // namespace lts::ml

@@ -1,0 +1,46 @@
+// Model validation utilities: K-fold cross-validation and a small grid
+// search, used by the offline Trainer to pick hyperparameters and by the
+// EXPERIMENTS.md methodology to report honest generalization numbers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace lts::ml {
+
+/// Deterministic K-fold split: returns, per fold, (train indices, test
+/// indices) covering the dataset exactly once on the test side.
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+kfold_indices(std::size_t n, int k, Rng& rng);
+
+struct CvResult {
+  std::vector<double> fold_rmse;
+  double mean_rmse = 0.0;
+  double stddev_rmse = 0.0;
+  std::vector<double> fold_r2;
+  double mean_r2 = 0.0;
+};
+
+/// Runs K-fold CV with a fresh model from `factory` per fold.
+CvResult cross_validate(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const Dataset& data, int k, std::uint64_t seed = 1);
+
+struct GridSearchResult {
+  Json best_params;
+  double best_rmse = 0.0;
+  std::vector<std::pair<Json, double>> all;  // (params, mean rmse)
+};
+
+/// Evaluates every parameter set with K-fold CV; picks the lowest RMSE.
+/// `make_model` builds a model from one parameter object.
+GridSearchResult grid_search(
+    const std::function<std::unique_ptr<Regressor>(const Json&)>& make_model,
+    const std::vector<Json>& param_grid, const Dataset& data, int k,
+    std::uint64_t seed = 1);
+
+}  // namespace lts::ml

@@ -1,0 +1,289 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lts::net {
+
+namespace {
+// Flows with fewer remaining bytes than this are considered delivered; it is
+// far below one byte so no real transfer is cut short.
+constexpr Bytes kRemainingEpsilon = 1e-6;
+}  // namespace
+
+FlowManager::FlowManager(sim::Engine& engine, const Topology& topo,
+                         FlowOptions options)
+    : engine_(engine), topo_(topo), options_(options) {
+  link_alloc_.assign(topo_.num_links(), 0.0);
+  host_tx_.assign(topo_.num_vertices(), 0.0);
+  host_rx_.assign(topo_.num_vertices(), 0.0);
+  last_update_ = engine_.now();
+}
+
+FlowId FlowManager::start(VertexId src, VertexId dst, Bytes size,
+                          std::function<void()> on_complete) {
+  LTS_REQUIRE(size > 0.0, "FlowManager: flow size must be positive");
+  LTS_REQUIRE(src != dst, "FlowManager: flow to self");
+  advance();
+  Flow flow;
+  flow.id = next_id_++;
+  flow.src = src;
+  flow.dst = dst;
+  flow.total = size;
+  flow.remaining = size;
+  flow.path = topo_.route(src, dst);
+  const SimTime rtt = base_rtt(src, dst);
+  flow.cap = options_.tcp_window_bytes / std::max(rtt, 1e-6);
+  flow.on_complete = std::move(on_complete);
+  const FlowId id = flow.id;
+  flows_.emplace(id, std::move(flow));
+  recompute_rates();
+  schedule_next_completion();
+  return id;
+}
+
+void FlowManager::cancel(FlowId id) {
+  advance();
+  if (flows_.erase(id) > 0) {
+    recompute_rates();
+    schedule_next_completion();
+  }
+}
+
+FlowInfo FlowManager::info(FlowId id) const {
+  const auto it = flows_.find(id);
+  LTS_REQUIRE(it != flows_.end(), "FlowManager: unknown flow");
+  // const_cast-free lazy accounting: report based on last_update_ plus
+  // extrapolation at the current rate.
+  const Flow& f = it->second;
+  const SimTime dt = engine_.now() - last_update_;
+  const Bytes extra = std::min(f.remaining, f.rate * dt);
+  return FlowInfo{f.src, f.dst, f.total, f.total - f.remaining + extra,
+                  f.rate};
+}
+
+double FlowManager::link_utilization(LinkId link) const {
+  LTS_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_alloc_.size(),
+              "FlowManager: bad link id");
+  const Rate cap = topo_.link(link).capacity;
+  return std::clamp(link_alloc_[static_cast<std::size_t>(link)] / cap, 0.0,
+                    1.0);
+}
+
+SimTime FlowManager::link_queue_delay(LinkId link) const {
+  const double u = link_utilization(link);
+  return options_.max_queue_delay * u * u * u * u;
+}
+
+SimTime FlowManager::current_rtt(VertexId a, VertexId b) const {
+  SimTime total = 2.0 * options_.host_stack_delay;
+  for (const LinkId lid : topo_.route(a, b)) {
+    total += topo_.link(lid).prop_delay + link_queue_delay(lid);
+  }
+  for (const LinkId lid : topo_.route(b, a)) {
+    total += topo_.link(lid).prop_delay + link_queue_delay(lid);
+  }
+  return total;
+}
+
+SimTime FlowManager::base_rtt(VertexId a, VertexId b) const {
+  return 2.0 * options_.host_stack_delay + topo_.path_prop_delay(a, b) +
+         topo_.path_prop_delay(b, a);
+}
+
+Bytes FlowManager::host_tx_bytes(VertexId host) const {
+  LTS_REQUIRE(host >= 0 && static_cast<std::size_t>(host) < host_tx_.size(),
+              "FlowManager: bad host id");
+  Bytes total = host_tx_[static_cast<std::size_t>(host)];
+  const SimTime dt = engine_.now() - last_update_;
+  for (const auto& [id, f] : flows_) {
+    if (f.src == host) total += std::min(f.remaining, f.rate * dt);
+  }
+  return total;
+}
+
+Bytes FlowManager::host_rx_bytes(VertexId host) const {
+  LTS_REQUIRE(host >= 0 && static_cast<std::size_t>(host) < host_rx_.size(),
+              "FlowManager: bad host id");
+  Bytes total = host_rx_[static_cast<std::size_t>(host)];
+  const SimTime dt = engine_.now() - last_update_;
+  for (const auto& [id, f] : flows_) {
+    if (f.dst == host) total += std::min(f.remaining, f.rate * dt);
+  }
+  return total;
+}
+
+Rate FlowManager::host_tx_rate(VertexId host) const {
+  Rate total = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (f.src == host) total += f.rate;
+  }
+  return total;
+}
+
+std::size_t FlowManager::host_active_flows(VertexId host) const {
+  std::size_t count = 0;
+  for (const auto& [id, f] : flows_) {
+    if (f.src == host || f.dst == host) ++count;
+  }
+  return count;
+}
+
+Rate FlowManager::host_rx_rate(VertexId host) const {
+  Rate total = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (f.dst == host) total += f.rate;
+  }
+  return total;
+}
+
+void FlowManager::advance() {
+  const SimTime now = engine_.now();
+  const SimTime dt = now - last_update_;
+  if (dt <= 0.0) {
+    last_update_ = now;
+    return;
+  }
+  for (auto& [id, f] : flows_) {
+    const Bytes delta = std::min(f.remaining, f.rate * dt);
+    f.remaining -= delta;
+    host_tx_[static_cast<std::size_t>(f.src)] += delta;
+    host_rx_[static_cast<std::size_t>(f.dst)] += delta;
+  }
+  last_update_ = now;
+}
+
+void FlowManager::recompute_rates() {
+  std::fill(link_alloc_.begin(), link_alloc_.end(), 0.0);
+  if (flows_.empty()) return;
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    f.rate = 0.0;
+    unfrozen.push_back(&f);
+  }
+  std::vector<Rate> residual(topo_.num_links());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = topo_.link(static_cast<LinkId>(i)).capacity;
+  }
+  std::vector<int> link_count(topo_.num_links(), 0);
+
+  auto freeze = [&](Flow* f, Rate rate) {
+    // Floor guards against rounding freezing a flow at exactly zero, which
+    // would make its completion time unschedulable. 1e-3 B/s is far below
+    // any physically meaningful rate in the model.
+    f->rate = std::max(rate, 1e-3);
+    for (const LinkId lid : f->path) {
+      residual[static_cast<std::size_t>(lid)] =
+          std::max(0.0, residual[static_cast<std::size_t>(lid)] - rate);
+    }
+  };
+
+  // Progressive filling freezes at least one flow per iteration; anything
+  // beyond flows+1 iterations is a logic error, not a slow convergence.
+  std::size_t iteration_guard = flows_.size() + 2;
+  while (!unfrozen.empty()) {
+    LTS_ASSERT(iteration_guard-- > 0);
+    std::fill(link_count.begin(), link_count.end(), 0);
+    for (const Flow* f : unfrozen) {
+      for (const LinkId lid : f->path) {
+        ++link_count[static_cast<std::size_t>(lid)];
+      }
+    }
+    // Fair share currently offered by the tightest link.
+    Rate bottleneck_share = std::numeric_limits<Rate>::infinity();
+    for (std::size_t i = 0; i < link_count.size(); ++i) {
+      if (link_count[i] == 0) continue;
+      bottleneck_share = std::min(
+          bottleneck_share, residual[i] / static_cast<Rate>(link_count[i]));
+    }
+    LTS_ASSERT(std::isfinite(bottleneck_share));
+
+    // Flows whose TCP cap is below the share freeze at their cap first: they
+    // cannot use their full fair share, which frees capacity for the rest.
+    bool froze_capped = false;
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      if (unfrozen[i]->cap <= bottleneck_share) {
+        freeze(unfrozen[i], unfrozen[i]->cap);
+        unfrozen[i] = unfrozen.back();
+        unfrozen.pop_back();
+        froze_capped = true;
+      } else {
+        ++i;
+      }
+    }
+    if (froze_capped) continue;
+
+    // Otherwise freeze every flow crossing a bottleneck link at the share.
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      bool on_bottleneck = false;
+      for (const LinkId lid : unfrozen[i]->path) {
+        const std::size_t li = static_cast<std::size_t>(lid);
+        if (link_count[li] > 0 &&
+            residual[li] / static_cast<Rate>(link_count[li]) <=
+                bottleneck_share * (1.0 + 1e-12)) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (on_bottleneck) {
+        freeze(unfrozen[i], bottleneck_share);
+        unfrozen[i] = unfrozen.back();
+        unfrozen.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  for (const auto& [id, f] : flows_) {
+    for (const LinkId lid : f.path) {
+      link_alloc_[static_cast<std::size_t>(lid)] += f.rate;
+    }
+  }
+}
+
+void FlowManager::schedule_next_completion() {
+  if (completion_event_ != sim::kInvalidEvent) {
+    engine_.cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  if (flows_.empty()) return;
+  SimTime earliest = std::numeric_limits<SimTime>::infinity();
+  for (const auto& [id, f] : flows_) {
+    LTS_ASSERT(f.rate > 0.0);
+    earliest = std::min(earliest, f.remaining / f.rate);
+  }
+  completion_event_ = engine_.schedule_in(
+      std::max(earliest, 0.0), [this] { handle_completion_event(); });
+}
+
+void FlowManager::handle_completion_event() {
+  completion_event_ = sim::kInvalidEvent;
+  advance();
+  // Collect finished flows first: completion callbacks may start new flows,
+  // which would invalidate iterators.
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    // A flow is done when its remaining bytes are negligible OR it would
+    // finish within a nanosecond — the latter guards against zero-progress
+    // event loops when remaining/rate underflows the clock's resolution.
+    if (it->second.remaining <=
+        std::max(kRemainingEpsilon, it->second.rate * 1e-9)) {
+      if (it->second.on_complete) {
+        callbacks.push_back(std::move(it->second.on_complete));
+      }
+      it = flows_.erase(it);
+      ++completed_;
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  schedule_next_completion();
+  for (auto& cb : callbacks) cb();
+}
+
+}  // namespace lts::net

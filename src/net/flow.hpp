@@ -1,0 +1,145 @@
+// Fluid flow model with max-min fair bandwidth allocation.
+//
+// Rather than simulating packets, each transfer is a fluid "flow" with a
+// current rate. Rates are recomputed whenever the set of active flows
+// changes, using progressive filling (the classic max-min fair algorithm)
+// extended with a per-flow cap of tcp_window / base_RTT — the bandwidth-delay
+// product limit that makes long-RTT WAN paths slower per flow. This is the
+// physical mechanism behind the paper's observation that network telemetry
+// (RTT, tx/rx rates) predicts job completion time.
+//
+// The manager also maintains cumulative per-host transmit/receive byte
+// counters (what node-exporter exposes as NIC counters) and an instantaneous
+// utilization-dependent queueing-delay estimate per link (what inflates the
+// ping mesh RTTs under load).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "simcore/engine.hpp"
+#include "util/common.hpp"
+
+namespace lts::net {
+
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+
+struct FlowOptions {
+  /// TCP congestion-window proxy: a single flow's rate never exceeds
+  /// tcp_window_bytes / base_rtt(src, dst).
+  Bytes tcp_window_bytes = 16.0 * 1024 * 1024;
+  /// Fixed per-host protocol stack latency added to each measured RTT
+  /// (kernel, virtualization). One-way, seconds.
+  SimTime host_stack_delay = 50e-6;
+  /// Maximum queueing delay a fully utilized link adds (one-way). The
+  /// queueing curve is max_queue_delay * utilization^4: negligible when
+  /// idle, steep near saturation.
+  SimTime max_queue_delay = 0.030;
+};
+
+/// Snapshot of one flow's progress.
+struct FlowInfo {
+  VertexId src = kNoVertex;
+  VertexId dst = kNoVertex;
+  Bytes total = 0.0;
+  Bytes transferred = 0.0;
+  Rate rate = 0.0;
+};
+
+class FlowManager {
+ public:
+  FlowManager(sim::Engine& engine, const Topology& topo,
+              FlowOptions options = {});
+
+  FlowManager(const FlowManager&) = delete;
+  FlowManager& operator=(const FlowManager&) = delete;
+
+  /// Starts a transfer of `size` bytes from src to dst. `on_complete` fires
+  /// (via the engine, at the completion instant) once the last byte is
+  /// delivered. Returns a handle usable with cancel()/info().
+  FlowId start(VertexId src, VertexId dst, Bytes size,
+               std::function<void()> on_complete);
+
+  /// Aborts a flow; its callback never fires. No-op if already finished.
+  void cancel(FlowId id);
+
+  bool active(FlowId id) const { return flows_.count(id) > 0; }
+  FlowInfo info(FlowId id) const;
+  std::size_t num_active() const { return flows_.size(); }
+  std::uint64_t num_completed() const { return completed_; }
+
+  /// Instantaneous allocated-rate / capacity for a link, in [0, 1].
+  double link_utilization(LinkId link) const;
+
+  /// Current one-way queueing delay estimate for a link.
+  SimTime link_queue_delay(LinkId link) const;
+
+  /// Measures RTT between two hosts right now: propagation + current
+  /// queueing on the forward and reverse routes + stack latency at both
+  /// ends. This is what the ping-mesh exporter samples (plus noise).
+  SimTime current_rtt(VertexId a, VertexId b) const;
+
+  /// Base (uncongested) RTT between two hosts.
+  SimTime base_rtt(VertexId a, VertexId b) const;
+
+  /// Cumulative bytes transmitted / received by a host since construction.
+  /// Accurate as of the current engine time.
+  Bytes host_tx_bytes(VertexId host) const;
+  Bytes host_rx_bytes(VertexId host) const;
+
+  /// Sum of current send rates of flows originating at / arriving at host.
+  Rate host_tx_rate(VertexId host) const;
+  Rate host_rx_rate(VertexId host) const;
+
+  /// Number of active flows terminating at this host (either direction) —
+  /// the passive flow-level statistic of the paper's §8 telemetry wishlist.
+  std::size_t host_active_flows(VertexId host) const;
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  struct Flow {
+    FlowId id = kInvalidFlow;
+    VertexId src = kNoVertex;
+    VertexId dst = kNoVertex;
+    Bytes total = 0.0;
+    Bytes remaining = 0.0;
+    Rate rate = 0.0;
+    Rate cap = 0.0;  // tcp window / base rtt
+    std::vector<LinkId> path;
+    std::function<void()> on_complete;
+  };
+
+  /// Applies elapsed time to all flows (byte accounting) up to engine.now().
+  void advance();
+
+  /// Progressive-filling max-min fair allocation with per-flow caps.
+  void recompute_rates();
+
+  /// (Re)schedules the single pending completion event.
+  void schedule_next_completion();
+
+  void handle_completion_event();
+
+  sim::Engine& engine_;
+  const Topology& topo_;
+  FlowOptions options_;
+
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  // std::map keeps iteration order deterministic across platforms.
+  std::map<FlowId, Flow> flows_;
+  SimTime last_update_ = 0.0;
+  sim::EventId completion_event_ = sim::kInvalidEvent;
+
+  std::vector<Rate> link_alloc_;  // per link, recomputed
+  mutable std::vector<Bytes> host_tx_;
+  mutable std::vector<Bytes> host_rx_;
+};
+
+}  // namespace lts::net

@@ -1,0 +1,104 @@
+// Discrete-event simulation engine.
+//
+// All LTS substrates (network flows, CPU sharing, exporters, Spark stages)
+// are driven by one Engine instance. Events execute in (time, insertion
+// sequence) order, which makes every simulation a deterministic function of
+// its inputs — the property the counterfactual evaluation in exp/evaluate
+// relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lts::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now). Returns a handle.
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Safe to call with an already-fired or
+  /// already-cancelled handle (returns false in that case).
+  bool cancel(EventId id);
+
+  /// True if `id` refers to an event that has not yet fired or been
+  /// cancelled.
+  bool pending(EventId id) const { return handlers_.count(id) > 0; }
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(SimTime t);
+
+  std::size_t num_pending() const { return handlers_.size(); }
+  std::uint64_t num_processed() const { return processed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const QueueEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+/// Repeats a callback at a fixed interval until stopped. The first firing is
+/// at `start + phase`; exporters use distinct phases so scrapes of different
+/// nodes interleave rather than synchronize (as real Prometheus jitter does).
+class PeriodicTask {
+ public:
+  PeriodicTask(Engine& engine, SimTime interval, SimTime phase,
+               std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Engine& engine_;
+  SimTime interval_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEvent;
+  bool running_ = true;
+};
+
+}  // namespace lts::sim

@@ -1,0 +1,77 @@
+// Stage/task DAG abstraction.
+//
+// A Spark application is compiled into stages separated by shuffles. Each
+// StageSpec carries the quantities the runtime needs to *derive* timing from
+// first principles — CPU work per task, bytes shuffled in, memory footprint —
+// never a precomputed duration. Workload builders (workloads.hpp) produce
+// these DAGs for Sort, PageRank, Join and GroupBy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lts::spark {
+
+struct StageSpec {
+  int id = 0;
+  std::string name;
+  std::vector<int> deps;  // parent stage ids (must be lower ids)
+
+  int num_tasks = 1;
+
+  /// Median CPU cost of one task, in core-seconds (before jitter/spill).
+  double cpu_work_per_task = 0.0;
+
+  /// Total bytes this stage pulls from its parents' map outputs (a full
+  /// shuffle reads the parents' entire output_bytes).
+  Bytes shuffle_bytes_in = 0.0;
+
+  /// Per-task share of shuffle_bytes_in and of CPU work; empty = uniform.
+  /// Join uses a Zipf profile here — the skew of Table 2.
+  std::vector<double> task_weights;
+
+  /// Bytes of map output this stage materializes for downstream stages.
+  Bytes output_bytes = 0.0;
+
+  /// Working-set memory per running task (hash tables, sort buffers).
+  Bytes memory_per_task = 0.0;
+
+  /// Driver-coordinated barrier after this stage: executors send
+  /// `driver_sync_in` bytes total to the driver (e.g. per-iteration rank
+  /// deltas, accumulator updates), the driver aggregates, then ships
+  /// `driver_sync_out` bytes to EACH executor (updated broadcast state).
+  /// Dependent stages wait for the barrier. Iterative applications
+  /// (PageRank) use this every iteration, which multiplies their
+  /// sensitivity to the driver node's network position and load.
+  Bytes driver_sync_in = 0.0;
+  Bytes driver_sync_out = 0.0;
+  /// Serialized driver<->executor control round-trips in the barrier
+  /// (accumulator reconciliation, commit coordination). Pure latency —
+  /// each round costs one RTT to the farthest executor — so iterative apps
+  /// feel the driver's RTT profile independent of bandwidth.
+  int driver_sync_rounds = 0;
+
+  double task_weight(int task) const;
+};
+
+struct AppDag {
+  std::vector<StageSpec> stages;
+  /// Bytes pulled back to the driver after the final stage (collect()).
+  Bytes result_bytes = 0.0;
+  /// Bytes the driver ships to EVERY executor before stage 0: application
+  /// jars, closures and broadcast variables, served by the driver's file
+  /// server as in real Spark cluster mode. This is a primary reason driver
+  /// placement matters for data-intensive jobs: a driver behind a congested
+  /// or high-RTT path feeds its executors slowly.
+  Bytes broadcast_bytes = 0.0;
+
+  /// Checks ids are dense, deps point backwards, weights normalized.
+  void validate() const;
+
+  Bytes total_shuffle_bytes() const;
+  double total_cpu_work() const;
+};
+
+}  // namespace lts::spark

@@ -1,0 +1,41 @@
+#include "spark/job.hpp"
+
+namespace lts::spark {
+
+const char* to_string(AppType type) {
+  switch (type) {
+    case AppType::kSort: return "sort";
+    case AppType::kPageRank: return "pagerank";
+    case AppType::kJoin: return "join";
+    case AppType::kGroupBy: return "groupby";
+    case AppType::kMlPipeline: return "ml_pipeline";
+    case AppType::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
+AppType app_type_from_string(const std::string& s) {
+  if (s == "sort") return AppType::kSort;
+  if (s == "pagerank") return AppType::kPageRank;
+  if (s == "join") return AppType::kJoin;
+  if (s == "groupby") return AppType::kGroupBy;
+  if (s == "ml_pipeline") return AppType::kMlPipeline;
+  if (s == "streaming") return AppType::kStreaming;
+  throw Error("unknown app type: " + s);
+}
+
+void JobConfig::validate() const {
+  LTS_REQUIRE(input_records > 0, "JobConfig: input_records must be positive");
+  LTS_REQUIRE(record_bytes > 0.0, "JobConfig: record_bytes must be positive");
+  LTS_REQUIRE(executors >= 1, "JobConfig: need at least one executor");
+  LTS_REQUIRE(executor_cores > 0.0, "JobConfig: executor_cores must be > 0");
+  LTS_REQUIRE(executor_memory > 0.0, "JobConfig: executor_memory must be > 0");
+  LTS_REQUIRE(driver_cores > 0.0, "JobConfig: driver_cores must be > 0");
+  LTS_REQUIRE(driver_memory > 0.0, "JobConfig: driver_memory must be > 0");
+  LTS_REQUIRE(shuffle_partitions >= 0,
+              "JobConfig: shuffle_partitions must be >= 0");
+  LTS_REQUIRE(iterations >= 1, "JobConfig: iterations must be >= 1");
+  LTS_REQUIRE(join_skew >= 1.0, "JobConfig: join_skew must be >= 1.0");
+}
+
+}  // namespace lts::spark

@@ -1,0 +1,71 @@
+// Job configuration: the static, application-level attributes a client
+// submits with a job request (§3.2.1) and that the Feature Constructor joins
+// with telemetry (Table 1: application type, input size, executor count,
+// requested memory, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace lts::spark {
+
+/// The paper's workloads (Table 2) plus the group-by shuffle pattern
+/// mentioned in §5.2, plus two §8 future-work applications: a distributed
+/// ML training pipeline and a multi-stage streaming job.
+enum class AppType {
+  kSort,
+  kPageRank,
+  kJoin,
+  kGroupBy,
+  // Extension apps (not part of the paper's evaluation matrix):
+  kMlPipeline,
+  kStreaming,
+};
+
+const char* to_string(AppType type);
+AppType app_type_from_string(const std::string& s);
+
+/// The PAPER's application set, in one-hot encoding order (Table 1's
+/// categorical feature). The extension apps are deliberately excluded: a
+/// job of an unseen type encodes as the all-zero app vector, which is how
+/// the generalization-to-new-applications experiment
+/// (bench_ext_workloads) stresses the model.
+inline constexpr AppType kAllAppTypes[] = {AppType::kSort, AppType::kPageRank,
+                                           AppType::kJoin, AppType::kGroupBy};
+inline constexpr int kNumAppTypes = 4;
+
+struct JobConfig {
+  AppType app = AppType::kSort;
+  std::int64_t input_records = 100000;
+  Bytes record_bytes = 100.0;
+
+  int executors = 3;
+  double executor_cores = 1.0;
+  Bytes executor_memory = 1024.0 * 1024 * 1024;  // 1 GiB
+  double driver_cores = 1.0;
+  Bytes driver_memory = 1024.0 * 1024 * 1024;
+
+  /// 0 selects the engine default (2 per executor, min 8).
+  int shuffle_partitions = 0;
+
+  /// PageRank only: number of iterations.
+  int iterations = 3;
+
+  /// Join only: Zipf exponent of the key distribution; higher = more skew.
+  double join_skew = 1.3;
+
+  Bytes input_bytes() const {
+    return static_cast<Bytes>(input_records) * record_bytes;
+  }
+  int effective_shuffle_partitions() const {
+    if (shuffle_partitions > 0) return shuffle_partitions;
+    return executors * 2 < 8 ? 8 : executors * 2;
+  }
+
+  /// Validates ranges; throws lts::Error with a description on failure.
+  void validate() const;
+};
+
+}  // namespace lts::spark

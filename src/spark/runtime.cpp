@@ -1,0 +1,606 @@
+#include "spark/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lts::spark {
+
+SparkApp::SparkApp(cluster::Cluster& cluster, JobConfig config, AppDag dag,
+                   std::size_t driver_node,
+                   std::vector<std::size_t> executor_nodes, Rng rng,
+                   RuntimeOptions options)
+    : cluster_(cluster),
+      config_(std::move(config)),
+      dag_(std::move(dag)),
+      driver_node_(driver_node),
+      options_(options) {
+  config_.validate();
+  dag_.validate();
+  LTS_REQUIRE(driver_node_ < cluster_.num_nodes(),
+              "SparkApp: driver node out of range");
+  LTS_REQUIRE(executor_nodes.size() ==
+                  static_cast<std::size_t>(config_.executors),
+              "SparkApp: need one node per executor");
+  executors_.resize(executor_nodes.size());
+  for (std::size_t i = 0; i < executor_nodes.size(); ++i) {
+    LTS_REQUIRE(executor_nodes[i] < cluster_.num_nodes(),
+                "SparkApp: executor node out of range");
+    executors_[i].node = executor_nodes[i];
+    executors_[i].slots =
+        std::max(1, static_cast<int>(std::llround(config_.executor_cores)));
+  }
+
+  // Pre-draw all randomness so that counterfactual replays (same seed,
+  // different driver node) see identical draws per task.
+  driver_startup_delay_ =
+      rng.uniform(options_.driver_startup_min, options_.driver_startup_max);
+  executor_startup_delays_.reserve(executors_.size());
+  for (std::size_t i = 0; i < executors_.size(); ++i) {
+    executor_startup_delays_.push_back(rng.uniform(
+        options_.executor_startup_min, options_.executor_startup_max));
+  }
+  task_jitter_.resize(dag_.stages.size());
+  task_will_fail_.resize(dag_.stages.size());
+  for (std::size_t s = 0; s < dag_.stages.size(); ++s) {
+    task_jitter_[s].reserve(static_cast<std::size_t>(dag_.stages[s].num_tasks));
+    for (int t = 0; t < dag_.stages[s].num_tasks; ++t) {
+      task_jitter_[s].push_back(
+          rng.lognormal_median(1.0, options_.task_jitter_sigma));
+    }
+    task_will_fail_[s].assign(
+        static_cast<std::size_t>(dag_.stages[s].num_tasks), 0);
+    if (options_.task_failure_rate > 0.0) {
+      for (int t = 0; t < dag_.stages[s].num_tasks; ++t) {
+        task_will_fail_[s][static_cast<std::size_t>(t)] =
+            rng.uniform() < options_.task_failure_rate ? 1 : 0;
+      }
+    }
+  }
+}
+
+SparkApp::~SparkApp() { cancel(); }
+
+void SparkApp::cancel() {
+  if (!running_) return;
+  running_ = false;
+  for (const auto id : live_events_) cluster_.engine().cancel(id);
+  live_events_.clear();
+  for (const auto id : live_flows_) cluster_.flows().cancel(id);
+  live_flows_.clear();
+  for (const auto& [node, id] : live_cpu_) cluster_.node(node).cpu().cancel(id);
+  live_cpu_.clear();
+  release_pods();
+}
+
+void SparkApp::release_pods() {
+  for (const auto& [node, id] : service_cpu_) {
+    cluster_.node(node).cpu().cancel(id);
+  }
+  service_cpu_.clear();
+  for (const auto& [node, bytes] : held_memory_) {
+    cluster_.node(node).release_memory(bytes);
+  }
+  held_memory_.clear();
+}
+
+void SparkApp::schedule(SimTime delay, std::function<void()> fn) {
+  // Events cannot fire re-entrantly (they only run from the engine loop),
+  // so publishing the id through the shared slot after scheduling is safe.
+  auto idp = std::make_shared<sim::EventId>(sim::kInvalidEvent);
+  const sim::EventId id = cluster_.engine().schedule_in(
+      delay, [this, fn = std::move(fn), idp]() {
+        live_events_.erase(*idp);
+        fn();
+      });
+  *idp = id;
+  live_events_.insert(id);
+}
+
+void SparkApp::start_flow(std::size_t src_node, std::size_t dst_node,
+                          Bytes bytes, std::function<void()> fn) {
+  auto idp = std::make_shared<net::FlowId>(net::kInvalidFlow);
+  const net::FlowId id = cluster_.flows().start(
+      cluster_.node(src_node).vertex(), cluster_.node(dst_node).vertex(),
+      bytes, [this, fn = std::move(fn), idp]() {
+        live_flows_.erase(*idp);
+        fn();
+      });
+  *idp = id;
+  live_flows_.insert(id);
+}
+
+void SparkApp::run_cpu(std::size_t node, double demand, double work,
+                       std::function<void()> fn) {
+  auto idp = std::make_shared<cluster::CpuTaskId>(cluster::kInvalidCpuTask);
+  const cluster::CpuTaskId id = cluster_.node(node).cpu().run(
+      demand, work, [this, node, fn = std::move(fn), idp]() {
+        live_cpu_.erase({node, *idp});
+        fn();
+      });
+  *idp = id;
+  live_cpu_.insert({node, id});
+}
+
+SimTime SparkApp::rtt(std::size_t a, std::size_t b) const {
+  if (a == b) return options_.loopback_rtt;
+  return cluster_.flows().current_rtt(cluster_.node(a).vertex(),
+                                      cluster_.node(b).vertex());
+}
+
+void SparkApp::submit(std::function<void(const AppResult&)> on_complete) {
+  LTS_REQUIRE(!running_ && !result_.completed, "SparkApp: already submitted");
+  running_ = true;
+  on_complete_ = std::move(on_complete);
+  result_.submit_time = cluster_.engine().now();
+  result_.driver_node = cluster_.node(driver_node_).name();
+  for (const auto& e : executors_) {
+    result_.executor_nodes.push_back(cluster_.node(e.node).name());
+  }
+  result_.stages.resize(dag_.stages.size());
+  stage_state_.assign(dag_.stages.size(), StageState{});
+  for (std::size_t s = 0; s < dag_.stages.size(); ++s) {
+    stage_state_[s].deps_remaining =
+        static_cast<int>(dag_.stages[s].deps.size());
+    stage_state_[s].reports_remaining = dag_.stages[s].num_tasks;
+    result_.stages[s].stage_id = dag_.stages[s].id;
+    result_.stages[s].name = dag_.stages[s].name;
+    result_.stages[s].tasks = dag_.stages[s].num_tasks;
+  }
+  stages_remaining_ = static_cast<int>(dag_.stages.size());
+  executors_pending_ = static_cast<int>(executors_.size());
+
+  schedule(driver_startup_delay_, [this] { on_driver_started(); });
+}
+
+void SparkApp::on_driver_started() {
+  // Driver pod is up: hold its memory and service CPU, then plan the job.
+  cluster_.node(driver_node_).allocate_memory(config_.driver_memory);
+  held_memory_.emplace_back(driver_node_, config_.driver_memory);
+  service_cpu_.emplace_back(
+      driver_node_, cluster_.node(driver_node_)
+                        .cpu()
+                        .add_persistent(options_.driver_service_cpu));
+  run_cpu(driver_node_, std::min(config_.driver_cores, 1.0),
+          options_.driver_planning_work, [this] {
+            for (std::size_t i = 0; i < executors_.size(); ++i) {
+              // Pod start + registration round trip back to the driver.
+              const SimTime delay =
+                  executor_startup_delays_[i] +
+                  rtt(executors_[i].node, driver_node_);
+              schedule(delay, [this, i] { on_executor_registered(i); });
+            }
+          });
+}
+
+void SparkApp::on_executor_registered(std::size_t executor_index) {
+  auto& exec = executors_[executor_index];
+  exec.registered = true;
+  cluster_.node(exec.node).allocate_memory(config_.executor_memory);
+  held_memory_.emplace_back(exec.node, config_.executor_memory);
+  service_cpu_.emplace_back(exec.node,
+                            cluster_.node(exec.node).cpu().add_persistent(
+                                options_.executor_service_cpu));
+  if (--executors_pending_ == 0) {
+    begin_broadcast();
+  }
+}
+
+void SparkApp::begin_broadcast() {
+  // The driver's file server ships jars/closures/broadcast variables to
+  // every executor before any task can run (Spark cluster mode). These
+  // flows leave the driver's node: its network position and current tx load
+  // directly gate how fast the job gets off the ground.
+  if (dag_.broadcast_bytes <= 1.0) {
+    start_ready_stages();
+    return;
+  }
+  broadcast_remaining_ = 0;
+  SimTime local_time = 0.0;
+  for (const auto& exec : executors_) {
+    if (exec.node == driver_node_) {
+      local_time = std::max(
+          local_time, dag_.broadcast_bytes / options_.local_read_rate);
+      continue;
+    }
+    ++broadcast_remaining_;
+  }
+  if (broadcast_remaining_ == 0) {
+    schedule(local_time, [this] { start_ready_stages(); });
+    return;
+  }
+  for (const auto& exec : executors_) {
+    if (exec.node == driver_node_) continue;
+    start_flow(driver_node_, exec.node, dag_.broadcast_bytes, [this] {
+      if (--broadcast_remaining_ == 0) {
+        start_ready_stages();
+      }
+    });
+  }
+}
+
+void SparkApp::start_ready_stages() {
+  for (std::size_t s = 0; s < dag_.stages.size(); ++s) {
+    if (!stage_state_[s].started && stage_state_[s].deps_remaining == 0) {
+      start_stage(static_cast<int>(s));
+    }
+  }
+}
+
+void SparkApp::start_stage(int stage_id) {
+  auto& state = stage_state_[static_cast<std::size_t>(stage_id)];
+  state.started = true;
+  const StageSpec& spec = dag_.stages[static_cast<std::size_t>(stage_id)];
+  result_.stages[static_cast<std::size_t>(stage_id)].start =
+      cluster_.engine().now();
+  // The driver serializes and dispatches every task of the stage: CPU work
+  // on the driver's node that scales with the task count.
+  const double dispatch_work =
+      options_.dispatch_cpu_per_task * static_cast<double>(spec.num_tasks) +
+      options_.stage_finalize_cpu;
+  run_cpu(driver_node_, std::min(config_.driver_cores, 1.0), dispatch_work,
+          [this, stage_id] {
+            const StageSpec& s =
+                dag_.stages[static_cast<std::size_t>(stage_id)];
+            auto& st = stage_state_[static_cast<std::size_t>(stage_id)];
+            st.tasks_on_executor.assign(executors_.size(), 0);
+            st.pending_tasks.reserve(static_cast<std::size_t>(s.num_tasks));
+            for (int t = 0; t < s.num_tasks; ++t) {
+              st.pending_tasks.push_back(t);
+            }
+            pump_slots();
+          });
+}
+
+void SparkApp::pump_slots() {
+  // Fill free slots from the oldest running stage's pending queue. The
+  // launch message occupies the slot for half an RTT (the executor waits
+  // for its next task from the driver).
+  for (std::size_t s = 0; s < stage_state_.size(); ++s) {
+    auto& st = stage_state_[s];
+    if (!st.started || st.finished || st.pending_tasks.empty()) continue;
+    for (std::size_t e = 0; e < executors_.size() && !st.pending_tasks.empty();
+         ++e) {
+      auto& exec = executors_[e];
+      while (exec.running < exec.slots && !st.pending_tasks.empty()) {
+        const int task = st.pending_tasks.front();
+        st.pending_tasks.erase(st.pending_tasks.begin());
+        ++st.tasks_on_executor[e];
+        ++exec.running;
+        const int stage_id = static_cast<int>(s);
+        const SimTime launch_delay =
+            0.5 * rtt(driver_node_, exec.node) +
+            options_.task_launch_overhead;
+        schedule(launch_delay, [this, stage_id, task, e] {
+          begin_task(stage_id, task, e);
+        });
+      }
+    }
+  }
+}
+
+std::vector<double> SparkApp::source_fractions(int stage_id) const {
+  const StageSpec& spec = dag_.stages[static_cast<std::size_t>(stage_id)];
+  std::vector<double> frac(executors_.size(), 0.0);
+  double total = 0.0;
+  for (const int dep : spec.deps) {
+    const StageSpec& parent = dag_.stages[static_cast<std::size_t>(dep)];
+    if (parent.output_bytes <= 0.0) continue;
+    // Map output lives where the parent's tasks actually ran.
+    const auto& parent_state = stage_state_[static_cast<std::size_t>(dep)];
+    for (std::size_t k = 0; k < executors_.size(); ++k) {
+      const double share =
+          parent.output_bytes *
+          static_cast<double>(parent_state.tasks_on_executor[k]) /
+          static_cast<double>(parent.num_tasks);
+      frac[k] += share;
+      total += share;
+    }
+  }
+  if (total > 0.0) {
+    for (auto& f : frac) f /= total;
+  }
+  return frac;
+}
+
+void SparkApp::begin_task(int stage_id, int task,
+                          std::size_t executor_index) {
+  const StageSpec& spec = dag_.stages[static_cast<std::size_t>(stage_id)];
+  const Bytes task_in =
+      spec.shuffle_bytes_in * spec.task_weight(task);
+  if (spec.deps.empty() || task_in <= 0.0) {
+    task_inputs_ready(stage_id, task, executor_index);
+    return;
+  }
+  const auto frac = source_fractions(stage_id);
+  const std::size_t dst_node = executors_[executor_index].node;
+  auto remaining = std::make_shared<int>(0);
+  SimTime local_read_time = 0.0;
+  for (std::size_t src = 0; src < executors_.size(); ++src) {
+    const Bytes bytes = task_in * frac[src];
+    if (bytes <= 1.0) continue;  // below one byte: nothing to move
+    const std::size_t src_node = executors_[src].node;
+    if (src_node == dst_node) {
+      // Node-local read: no network flow, just local I/O.
+      local_read_time =
+          std::max(local_read_time, bytes / options_.local_read_rate);
+      continue;
+    }
+    ++*remaining;
+    result_.total_shuffle_bytes += bytes;
+    result_.stages[static_cast<std::size_t>(stage_id)].shuffle_bytes += bytes;
+    start_flow(src_node, dst_node, bytes,
+               [this, stage_id, task, executor_index, remaining] {
+                 if (--*remaining == 0) {
+                   task_inputs_ready(stage_id, task, executor_index);
+                 }
+               });
+  }
+  if (*remaining == 0) {
+    // All input was local.
+    schedule(local_read_time, [this, stage_id, task, executor_index] {
+      task_inputs_ready(stage_id, task, executor_index);
+    });
+  } else if (local_read_time > 0.0) {
+    ++*remaining;
+    schedule(local_read_time, [this, stage_id, task, executor_index,
+                               remaining] {
+      if (--*remaining == 0) {
+        task_inputs_ready(stage_id, task, executor_index);
+      }
+    });
+  }
+}
+
+void SparkApp::task_inputs_ready(int stage_id, int task,
+                                 std::size_t executor_index) {
+  const StageSpec& spec = dag_.stages[static_cast<std::size_t>(stage_id)];
+  auto& exec = executors_[executor_index];
+  const std::size_t node_idx = exec.node;
+  auto& node = cluster_.node(node_idx);
+
+  // Working set: this task's (weighted) share of the stage's memory needs.
+  const Bytes task_mem = spec.memory_per_task *
+                         spec.task_weight(task) *
+                         static_cast<double>(spec.num_tasks);
+  node.allocate_memory(task_mem);
+
+  // Spill penalty: the working set must fit in this task's share of the
+  // executor heap; beyond that Spark spills to disk.
+  const double heap_share =
+      config_.executor_memory / static_cast<double>(exec.slots);
+  const double spill =
+      1.0 + options_.spill_slowdown *
+                std::max(0.0, task_mem / heap_share - 1.0);
+  // Swap penalty: the *node's* physical memory is over-committed.
+  const double swap =
+      1.0 + options_.node_swap_slowdown *
+                std::max(0.0, node.memory_pressure() - 1.0);
+  result_.max_spill_penalty =
+      std::max(result_.max_spill_penalty, spill * swap);
+
+  const double jitter =
+      task_jitter_[static_cast<std::size_t>(stage_id)]
+                  [static_cast<std::size_t>(task)];
+  const double work = spec.cpu_work_per_task *
+                      spec.task_weight(task) *
+                      static_cast<double>(spec.num_tasks) * jitter * spill *
+                      swap;
+
+  // Injected failure: burn part of the work, detect, release, retry. The
+  // pre-drawn flag is consumed so the retry succeeds.
+  auto& will_fail = task_will_fail_[static_cast<std::size_t>(stage_id)]
+                                   [static_cast<std::size_t>(task)];
+  if (will_fail != 0) {
+    will_fail = 0;
+    const double wasted =
+        std::max(work * options_.failure_waste_fraction, 1e-6);
+    run_cpu(node_idx, 1.0, wasted,
+            [this, stage_id, task, executor_index, task_mem] {
+              auto& node = cluster_.node(executors_[executor_index].node);
+              node.release_memory(task_mem);
+              ++result_.task_retries;
+              schedule(options_.failure_detect_delay,
+                       [this, stage_id, task, executor_index] {
+                         task_inputs_ready(stage_id, task, executor_index);
+                       });
+            });
+    return;
+  }
+
+  run_cpu(node_idx, 1.0, std::max(work, 1e-6),
+          [this, stage_id, task, executor_index, task_mem] {
+            task_cpu_done(stage_id, task, executor_index, task_mem);
+          });
+}
+
+void SparkApp::task_cpu_done(int stage_id, int /*task*/,
+                             std::size_t executor_index, Bytes held_memory) {
+  auto& exec = executors_[executor_index];
+  cluster_.node(exec.node).release_memory(held_memory);
+  --exec.running;
+  pump_slots();
+  // Completion report travels back to the driver.
+  const SimTime report_delay = 0.5 * rtt(exec.node, driver_node_);
+  schedule(report_delay, [this, stage_id] { on_task_report(stage_id); });
+}
+
+void SparkApp::on_task_report(int stage_id) {
+  auto& state = stage_state_[static_cast<std::size_t>(stage_id)];
+  if (--state.reports_remaining == 0) {
+    finish_stage(stage_id);
+  }
+}
+
+void SparkApp::finish_stage(int stage_id) {
+  const StageSpec& spec = dag_.stages[static_cast<std::size_t>(stage_id)];
+  const bool has_sync = spec.driver_sync_in > 1.0 ||
+                        spec.driver_sync_out > 1.0 ||
+                        spec.driver_sync_rounds > 0;
+  if (!has_sync) {
+    complete_stage(stage_id);
+    return;
+  }
+  // Serialized control rounds first: each is a full RTT to the farthest
+  // executor at the current congestion level.
+  SimTime control_latency = 0.0;
+  if (spec.driver_sync_rounds > 0) {
+    SimTime worst_rtt = 0.0;
+    for (const auto& exec : executors_) {
+      worst_rtt = std::max(worst_rtt, rtt(driver_node_, exec.node));
+    }
+    control_latency = worst_rtt * static_cast<double>(spec.driver_sync_rounds);
+  }
+  schedule(control_latency, [this, stage_id] { stage_sync_gather(stage_id); });
+}
+
+void SparkApp::stage_sync_gather(int stage_id) {
+  const StageSpec& spec = dag_.stages[static_cast<std::size_t>(stage_id)];
+  if (spec.driver_sync_in <= 1.0) {
+    stage_sync_scatter(stage_id);
+    return;
+  }
+  auto remaining = std::make_shared<int>(0);
+  const Bytes per_exec =
+      spec.driver_sync_in / static_cast<double>(executors_.size());
+  SimTime local_time = 0.0;
+  for (const auto& exec : executors_) {
+    if (exec.node == driver_node_) {
+      local_time = std::max(local_time, per_exec / options_.local_read_rate);
+      continue;
+    }
+    ++*remaining;
+  }
+  if (*remaining == 0) {
+    schedule(local_time, [this, stage_id] { stage_sync_scatter(stage_id); });
+    return;
+  }
+  for (const auto& exec : executors_) {
+    if (exec.node == driver_node_) continue;
+    start_flow(exec.node, driver_node_, per_exec, [this, stage_id,
+                                                   remaining] {
+      if (--*remaining == 0) {
+        stage_sync_scatter(stage_id);
+      }
+    });
+  }
+}
+
+void SparkApp::stage_sync_scatter(int stage_id) {
+  const StageSpec& spec = dag_.stages[static_cast<std::size_t>(stage_id)];
+  // Aggregation on the driver before the new state ships out.
+  const double agg_work =
+      0.05 + (spec.driver_sync_in + spec.driver_sync_out) / 300e6;
+  run_cpu(driver_node_, std::min(config_.driver_cores, 1.0), agg_work,
+          [this, stage_id, &spec] {
+            if (spec.driver_sync_out <= 1.0) {
+              complete_stage(stage_id);
+              return;
+            }
+            auto remaining = std::make_shared<int>(0);
+            SimTime local_time = 0.0;
+            for (const auto& exec : executors_) {
+              if (exec.node == driver_node_) {
+                local_time = std::max(local_time, spec.driver_sync_out /
+                                                      options_.local_read_rate);
+                continue;
+              }
+              ++*remaining;
+            }
+            if (*remaining == 0) {
+              schedule(local_time,
+                       [this, stage_id] { complete_stage(stage_id); });
+              return;
+            }
+            for (const auto& exec : executors_) {
+              if (exec.node == driver_node_) continue;
+              start_flow(driver_node_, exec.node, spec.driver_sync_out,
+                         [this, stage_id, remaining] {
+                           if (--*remaining == 0) {
+                             complete_stage(stage_id);
+                           }
+                         });
+            }
+          });
+}
+
+void SparkApp::complete_stage(int stage_id) {
+  auto& state = stage_state_[static_cast<std::size_t>(stage_id)];
+  state.finished = true;
+  result_.stages[static_cast<std::size_t>(stage_id)].end =
+      cluster_.engine().now();
+  for (std::size_t s = 0; s < dag_.stages.size(); ++s) {
+    const auto& deps = dag_.stages[s].deps;
+    if (std::find(deps.begin(), deps.end(), stage_id) != deps.end()) {
+      --stage_state_[s].deps_remaining;
+    }
+  }
+  if (--stages_remaining_ == 0) {
+    begin_collect();
+  } else {
+    start_ready_stages();
+  }
+}
+
+void SparkApp::begin_collect() {
+  result_.result_bytes = dag_.result_bytes;
+  if (dag_.result_bytes <= 1.0) {
+    finish_app();
+    return;
+  }
+  collect_remaining_ = 0;
+  const Bytes per_exec =
+      dag_.result_bytes / static_cast<double>(executors_.size());
+  SimTime local_time = 0.0;
+  for (const auto& exec : executors_) {
+    if (exec.node == driver_node_) {
+      local_time =
+          std::max(local_time, per_exec / options_.local_read_rate);
+      continue;
+    }
+    ++collect_remaining_;
+  }
+  if (collect_remaining_ == 0) {
+    schedule(local_time, [this] { finish_app(); });
+    return;
+  }
+  for (const auto& exec : executors_) {
+    if (exec.node == driver_node_) continue;
+    start_flow(exec.node, driver_node_, per_exec, [this] {
+      if (--collect_remaining_ == 0) {
+        finish_app();
+      }
+    });
+  }
+}
+
+void SparkApp::finish_app() {
+  // Driver finalizes: the collected results are buffered and merged on the
+  // driver's node. The merge buffers are a real allocation — on a node whose
+  // physical memory is tight (background pods, co-located executors) the
+  // merge thrashes, a threshold effect that makes memory telemetry the
+  // dominant signal for collect-heavy jobs (Join).
+  auto& driver = cluster_.node(driver_node_);
+  const Bytes merge_buffer = dag_.result_bytes * 4.0;
+  driver.allocate_memory(merge_buffer);
+  held_memory_.emplace_back(driver_node_, merge_buffer);
+  const double thrash =
+      1.0 + 5.0 * std::max(0.0, driver.memory_pressure() - 0.6);
+  const double merge_work =
+      (options_.collect_finalize_cpu +
+       options_.collect_cpu_per_byte * dag_.result_bytes) *
+      thrash;
+  run_cpu(driver_node_, std::min(config_.driver_cores, 1.0),
+          merge_work, [this] {
+            running_ = false;
+            release_pods();
+            result_.completed = true;
+            result_.finish_time = cluster_.engine().now();
+            if (on_complete_) {
+              // Move out first: the callback may destroy this app.
+              auto cb = std::move(on_complete_);
+              cb(result_);
+            }
+          });
+}
+
+}  // namespace lts::spark

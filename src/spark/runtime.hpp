@@ -1,0 +1,195 @@
+// Spark application runtime: executes an AppDag on the simulated cluster.
+//
+// The runtime reproduces the mechanisms through which driver placement
+// affects completion time in a real geo-distributed Spark deployment:
+//
+//   * control plane   — every task launch and completion report crosses the
+//                       driver<->executor RTT, so a driver far from (or on a
+//                       congested path to) its executors pays per-task;
+//   * driver compute  — job planning, task dispatch and result finalization
+//                       are CPU tasks on the driver's node and contend with
+//                       background load there;
+//   * shuffles        — map outputs move between executor nodes as real
+//                       flows through the shared network;
+//   * collect         — final results stream back to the driver node;
+//   * memory          — tasks allocate working sets; exceeding the executor
+//                       heap or the node's physical memory slows them
+//                       (spill / swap), which is how Join's skew bites.
+//
+// All randomness (startup delays, per-task jitter) is pre-drawn at
+// construction, so running the same (config, dag, rng seed) with a different
+// driver node is an exact counterfactual.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "spark/dag.hpp"
+#include "spark/job.hpp"
+#include "util/rng.hpp"
+
+namespace lts::spark {
+
+struct RuntimeOptions {
+  SimTime driver_startup_min = 2.2;      // pod image + JVM + context init
+  SimTime driver_startup_max = 3.6;
+  SimTime executor_startup_min = 1.8;
+  SimTime executor_startup_max = 3.2;
+  double driver_planning_work = 0.4;     // core-seconds before executors launch
+  double driver_service_cpu = 0.15;      // persistent demand while app runs
+  double executor_service_cpu = 0.08;
+  double dispatch_cpu_per_task = 0.008;  // driver core-seconds per task
+  double stage_finalize_cpu = 0.1;
+  double collect_finalize_cpu = 0.2;     // fixed part of the driver merge
+  double collect_cpu_per_byte = 1.0 / 80e6;   // merge cost per result byte
+  SimTime task_launch_overhead = 0.002;  // serialization etc., per task
+  double task_jitter_sigma = 0.04;       // lognormal shape on task CPU work
+  /// Fault injection: each task independently fails once with this
+  /// probability (pre-drawn per task). A failed task burns
+  /// `failure_waste_fraction` of its CPU work, is detected after
+  /// `failure_detect_delay`, and is retried on the same executor (first
+  /// retry always succeeds, as Spark's default 4-attempt budget almost
+  /// always does).
+  double task_failure_rate = 0.0;
+  double failure_waste_fraction = 0.6;
+  SimTime failure_detect_delay = 1.0;
+  double spill_slowdown = 1.2;           // task working set > heap share
+  double node_swap_slowdown = 2.0;       // node memory over-committed
+  Rate local_read_rate = 800e6;          // node-local shuffle read, bytes/s
+  SimTime loopback_rtt = 0.2e-3;         // driver and executor co-located
+};
+
+struct StageMetrics {
+  int stage_id = 0;
+  std::string name;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  Bytes shuffle_bytes = 0.0;
+  int tasks = 0;
+};
+
+struct AppResult {
+  bool completed = false;
+  int task_retries = 0;  // fault-injection retries that occurred
+  SimTime submit_time = 0.0;
+  SimTime finish_time = 0.0;
+  std::string driver_node;
+  std::vector<std::string> executor_nodes;
+  std::vector<StageMetrics> stages;
+  Bytes total_shuffle_bytes = 0.0;
+  Bytes result_bytes = 0.0;
+  double max_spill_penalty = 1.0;
+
+  double duration() const { return finish_time - submit_time; }
+};
+
+class SparkApp {
+ public:
+  /// `executor_nodes` has one node index per executor (the k8s default
+  /// scheduler's choices); `driver_node` is the scheduler-under-test's pick.
+  SparkApp(cluster::Cluster& cluster, JobConfig config, AppDag dag,
+           std::size_t driver_node, std::vector<std::size_t> executor_nodes,
+           Rng rng, RuntimeOptions options = {});
+  ~SparkApp();
+
+  SparkApp(const SparkApp&) = delete;
+  SparkApp& operator=(const SparkApp&) = delete;
+
+  /// Submits the application at the current simulated time. `on_complete`
+  /// fires once, with the final result.
+  void submit(std::function<void(const AppResult&)> on_complete);
+
+  /// Aborts a running application, releasing every held resource.
+  void cancel();
+
+  bool running() const { return running_; }
+  const AppResult& result() const { return result_; }
+  const JobConfig& config() const { return config_; }
+
+ private:
+  struct ExecutorState {
+    std::size_t node = 0;
+    int slots = 1;
+    int running = 0;
+    bool registered = false;
+  };
+
+  struct StageState {
+    int deps_remaining = 0;
+    int reports_remaining = 0;
+    bool started = false;
+    bool finished = false;
+    std::vector<int> pending_tasks;      // not yet assigned to a slot
+    std::vector<int> tasks_on_executor;  // per executor, assigned count
+  };
+
+  // -- resource-tracked primitives (all cancellable via cancel()) --
+  void schedule(SimTime delay, std::function<void()> fn);
+  void start_flow(std::size_t src_node, std::size_t dst_node, Bytes bytes,
+                  std::function<void()> fn);
+  void run_cpu(std::size_t node, double demand, double work,
+               std::function<void()> fn);
+
+  SimTime rtt(std::size_t a, std::size_t b) const;
+
+  void on_driver_started();
+  void on_executor_registered(std::size_t executor_index);
+  void begin_broadcast();
+  void start_ready_stages();
+  void start_stage(int stage_id);
+  /// Dynamic task assignment: fills every free slot with the next pending
+  /// task of the oldest running stage (Spark hands tasks to whichever
+  /// executor has capacity, so a slow node naturally receives fewer tasks).
+  void pump_slots();
+  void begin_task(int stage_id, int task, std::size_t executor_index);
+  void task_inputs_ready(int stage_id, int task, std::size_t executor_index);
+  void task_cpu_done(int stage_id, int task, std::size_t executor_index,
+                     Bytes held_memory);
+  void on_task_report(int stage_id);
+  void finish_stage(int stage_id);
+  void stage_sync_gather(int stage_id);
+  void stage_sync_scatter(int stage_id);
+  void complete_stage(int stage_id);
+  void begin_collect();
+  void finish_app();
+  void release_pods();
+
+  /// Fraction of upstream map output held by each executor, for stage
+  /// `stage_id`'s shuffle reads.
+  std::vector<double> source_fractions(int stage_id) const;
+
+  cluster::Cluster& cluster_;
+  JobConfig config_;
+  AppDag dag_;
+  std::size_t driver_node_;
+  RuntimeOptions options_;
+
+  // Pre-drawn randomness (see header comment).
+  SimTime driver_startup_delay_ = 0.0;
+  std::vector<SimTime> executor_startup_delays_;
+  std::vector<std::vector<double>> task_jitter_;   // [stage][task]
+  std::vector<std::vector<char>> task_will_fail_;  // [stage][task], once
+
+  std::vector<ExecutorState> executors_;
+  std::vector<StageState> stage_state_;
+  int executors_pending_ = 0;
+  int broadcast_remaining_ = 0;
+  int stages_remaining_ = 0;
+  int collect_remaining_ = 0;
+
+  bool running_ = false;
+  AppResult result_;
+  std::function<void(const AppResult&)> on_complete_;
+
+  // Live resources for cancellation safety.
+  std::set<sim::EventId> live_events_;
+  std::set<net::FlowId> live_flows_;
+  std::set<std::pair<std::size_t, cluster::CpuTaskId>> live_cpu_;
+  std::vector<std::pair<std::size_t, cluster::CpuTaskId>> service_cpu_;
+  std::vector<std::pair<std::size_t, Bytes>> held_memory_;
+};
+
+}  // namespace lts::spark

@@ -1,0 +1,107 @@
+#include "telemetry/exporters.hpp"
+
+#include <cmath>
+
+namespace lts::telemetry {
+
+NodeExporter::NodeExporter(sim::Engine& engine, Tsdb& tsdb,
+                           cluster::Cluster& cluster, std::size_t node_index,
+                           ExporterOptions options, Rng rng, SimTime phase)
+    : tsdb_(tsdb),
+      cluster_(cluster),
+      node_index_(node_index),
+      node_name_(cluster.node(node_index).name()),
+      options_(options),
+      rng_(rng),
+      load_ema_(options.load_ema_tau),
+      engine_(engine) {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      engine, options_.scrape_interval, phase, [this] { scrape(); });
+}
+
+void NodeExporter::scrape() {
+  const SimTime now = engine_.now();
+  auto& node = cluster_.node(node_index_);
+  const Labels labels{{"node", node_name_}};
+
+  load_ema_.update(now, node.cpu().total_demand());
+  tsdb_.append(kCpuLoadMetric, labels, now, load_ema_.value());
+  tsdb_.append(kMemAvailableMetric, labels, now,
+               std::max(0.0, node.memory_available()));
+
+  auto noisy_counter = [&](double v) {
+    if (options_.counter_noise_frac <= 0.0) return v;
+    return v * (1.0 + options_.counter_noise_frac * rng_.normal());
+  };
+  tsdb_.append(kTxBytesMetric, labels, now,
+               noisy_counter(cluster_.flows().host_tx_bytes(node.vertex())));
+  tsdb_.append(kRxBytesMetric, labels, now,
+               noisy_counter(cluster_.flows().host_rx_bytes(node.vertex())));
+
+  if (options_.rich_metrics) {
+    const auto& flows = cluster_.flows();
+    const auto up = cluster_.node_uplink(node_index_);
+    const auto down = cluster_.node_downlink(node_index_);
+    tsdb_.append(kUplinkUtilMetric, labels, now, flows.link_utilization(up));
+    tsdb_.append(kDownlinkUtilMetric, labels, now,
+                 flows.link_utilization(down));
+    tsdb_.append(kQueueDelayMetric, labels, now,
+                 std::max(flows.link_queue_delay(up),
+                          flows.link_queue_delay(down)));
+    tsdb_.append(kActiveFlowsMetric, labels, now,
+                 static_cast<double>(
+                     flows.host_active_flows(node.vertex())));
+  }
+}
+
+PingExporter::PingExporter(sim::Engine& engine, Tsdb& tsdb,
+                           cluster::Cluster& cluster, ExporterOptions options,
+                           Rng rng, SimTime phase)
+    : tsdb_(tsdb),
+      cluster_(cluster),
+      options_(options),
+      rng_(rng),
+      engine_(engine) {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      engine, options_.scrape_interval, phase, [this] { probe(); });
+}
+
+void PingExporter::probe() {
+  const SimTime now = engine_.now();
+  const std::size_t n = cluster_.num_nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const SimTime true_rtt = cluster_.flows().current_rtt(
+          cluster_.node(i).vertex(), cluster_.node(j).vertex());
+      // ICMP echo measurements see scheduler jitter and serialization
+      // variance: multiplicative noise plus an additive floor.
+      const SimTime measured =
+          true_rtt * (1.0 + options_.rtt_noise_frac * std::abs(rng_.normal())) +
+          options_.rtt_noise_floor * rng_.uniform();
+      tsdb_.append(kPingRttMetric,
+                   Labels{{"src", cluster_.node(i).name()},
+                          {"dst", cluster_.node(j).name()}},
+                   now, measured);
+    }
+  }
+}
+
+TelemetryStack::TelemetryStack(sim::Engine& engine, cluster::Cluster& cluster,
+                               ExporterOptions options, Rng rng) {
+  const std::size_t n = cluster.num_nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Stagger scrapes across the interval so samples interleave.
+    const SimTime phase =
+        options.scrape_interval * static_cast<double>(i) /
+        static_cast<double>(n + 1);
+    node_exporters_.push_back(std::make_unique<NodeExporter>(
+        engine, tsdb_, cluster, i, options, rng.split(), phase));
+  }
+  ping_exporter_ = std::make_unique<PingExporter>(
+      engine, tsdb_, cluster, options, rng.split(),
+      options.scrape_interval * static_cast<double>(n) /
+          static_cast<double>(n + 1));
+}
+
+}  // namespace lts::telemetry

@@ -1,0 +1,70 @@
+// PromQL-mini: a parser and evaluator for the query subset the paper's
+// Telemetry Fetcher issues against its Prometheus metrics server.
+//
+// Supported grammar (a strict subset of PromQL):
+//
+//   expr     := func '(' range ')' | instant
+//   func     := 'rate' | 'avg_over_time' | 'max_over_time'
+//             | 'stddev_over_time'
+//   range    := instant '[' duration ']'
+//   instant  := metric_name selector?
+//   selector := '{' label '=' '"' value '"' (',' label '=' '"' value '"')* '}'
+//   duration := integer ('s' | 'm' | 'h')
+//
+// Examples:
+//   node_cpu_load{node="node-3"}
+//   rate(node_network_transmit_bytes_total{node="node-1"}[30s])
+//   avg_over_time(ping_rtt_seconds{src="node-1",dst="node-4"}[1m])
+//
+// Evaluation happens against a Tsdb at an explicit timestamp. Instant
+// selectors without labels evaluate every series of that metric and return
+// one result per label set.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/tsdb.hpp"
+
+namespace lts::telemetry {
+
+/// A parsed query (introspectable, mostly for tests and error messages).
+struct PromQuery {
+  enum class Function {
+    kInstant,          // latest sample
+    kRate,
+    kAvgOverTime,
+    kMaxOverTime,
+    kStddevOverTime,
+  };
+  Function function = Function::kInstant;
+  std::string metric;
+  Labels labels;
+  SimTime range = 0.0;  // seconds; 0 for instant queries
+
+  std::string to_string() const;
+};
+
+/// Parses a query; throws lts::Error with a position-annotated message on
+/// malformed input.
+PromQuery parse_promql(const std::string& text);
+
+/// One sample of a query result.
+struct PromResult {
+  Labels labels;
+  double value = 0.0;
+};
+
+/// Evaluates `query` against `tsdb` as of time `now`. Series with no data
+/// in range are omitted (an empty vector means "no data", like an empty
+/// Prometheus instant vector).
+std::vector<PromResult> eval_promql(const PromQuery& query, const Tsdb& tsdb,
+                                    SimTime now);
+
+/// Convenience: parse + evaluate, returning the single scalar for fully
+/// labeled queries (nullopt when the series is absent).
+std::optional<double> promql_scalar(const std::string& text, const Tsdb& tsdb,
+                                    SimTime now);
+
+}  // namespace lts::telemetry

@@ -1,0 +1,41 @@
+#include "telemetry/series.hpp"
+
+namespace lts::telemetry {
+
+Series::Series(std::size_t capacity) : buffer_(capacity) {
+  LTS_REQUIRE(capacity > 0, "Series: capacity must be positive");
+}
+
+void Series::append(SimTime t, double v) {
+  if (size_ > 0) {
+    LTS_REQUIRE(t >= latest().t, "Series: timestamps must be nondecreasing");
+  }
+  const std::size_t pos = (head_ + size_) % buffer_.size();
+  buffer_[pos] = Sample{t, v};
+  if (size_ < buffer_.size()) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % buffer_.size();
+  }
+}
+
+const Sample& Series::at(std::size_t i) const {
+  LTS_REQUIRE(i < size_, "Series: index out of range");
+  return buffer_[(head_ + i) % buffer_.size()];
+}
+
+const Sample& Series::latest() const {
+  LTS_REQUIRE(size_ > 0, "Series: empty");
+  return at(size_ - 1);
+}
+
+std::vector<Sample> Series::range(SimTime t_from, SimTime t_to) const {
+  std::vector<Sample> out;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Sample& s = at(i);
+    if (s.t >= t_from && s.t <= t_to) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace lts::telemetry

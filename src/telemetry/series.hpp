@@ -1,0 +1,43 @@
+// A single time series: fixed-capacity ring buffer of (time, value) samples.
+//
+// Capacity bounds memory like a Prometheus retention window; the scheduler
+// only ever looks at the recent past, so old samples age out silently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lts::telemetry {
+
+struct Sample {
+  SimTime t = 0.0;
+  double v = 0.0;
+};
+
+class Series {
+ public:
+  explicit Series(std::size_t capacity = 720);
+
+  /// Appends a sample; timestamps must be nondecreasing.
+  void append(SimTime t, double v);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// i = 0 is the oldest retained sample.
+  const Sample& at(std::size_t i) const;
+  const Sample& latest() const;
+
+  /// Samples with t in [t_from, t_to], oldest first.
+  std::vector<Sample> range(SimTime t_from, SimTime t_to) const;
+
+ private:
+  std::vector<Sample> buffer_;
+  std::size_t head_ = 0;  // index of oldest
+  std::size_t size_ = 0;
+};
+
+}  // namespace lts::telemetry

@@ -1,0 +1,110 @@
+#include "telemetry/tsdb.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace lts::telemetry {
+
+std::string encode_series_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+void Tsdb::append(const std::string& name, const Labels& labels, SimTime t,
+                  double v) {
+  const std::string key = encode_series_key(name, labels);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(key, Entry{labels, Series(series_capacity_)}).first;
+    by_name_[name].push_back(key);
+  }
+  it->second.series.append(t, v);
+  ++samples_appended_;
+}
+
+const Series* Tsdb::find(const std::string& name, const Labels& labels) const {
+  const auto it = series_.find(encode_series_key(name, labels));
+  return it == series_.end() ? nullptr : &it->second.series;
+}
+
+std::vector<std::pair<Labels, const Series*>> Tsdb::select(
+    const std::string& name) const {
+  std::vector<std::pair<Labels, const Series*>> out;
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return out;
+  for (const auto& key : it->second) {
+    const auto& entry = series_.at(key);
+    out.emplace_back(entry.labels, &entry.series);
+  }
+  return out;
+}
+
+std::optional<double> Tsdb::latest(const std::string& name,
+                                   const Labels& labels) const {
+  const Series* s = find(name, labels);
+  if (s == nullptr || s->empty()) return std::nullopt;
+  return s->latest().v;
+}
+
+double Tsdb::rate(const std::string& name, const Labels& labels, SimTime now,
+                  SimTime window) const {
+  const Series* s = find(name, labels);
+  if (s == nullptr) return 0.0;
+  const auto samples = s->range(now - window, now);
+  if (samples.size() < 2) return 0.0;
+  const double dv = samples.back().v - samples.front().v;
+  const double dt = samples.back().t - samples.front().t;
+  if (dt <= 0.0) return 0.0;
+  return dv / dt;
+}
+
+namespace {
+std::optional<std::vector<double>> window_values(const Series* s, SimTime now,
+                                                 SimTime window) {
+  if (s == nullptr) return std::nullopt;
+  const auto samples = s->range(now - window, now);
+  if (samples.empty()) return std::nullopt;
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& sample : samples) values.push_back(sample.v);
+  return values;
+}
+}  // namespace
+
+std::optional<double> Tsdb::avg_over_time(const std::string& name,
+                                          const Labels& labels, SimTime now,
+                                          SimTime window) const {
+  const auto values = window_values(find(name, labels), now, window);
+  if (!values) return std::nullopt;
+  return mean(*values);
+}
+
+std::optional<double> Tsdb::max_over_time(const std::string& name,
+                                          const Labels& labels, SimTime now,
+                                          SimTime window) const {
+  const auto values = window_values(find(name, labels), now, window);
+  if (!values) return std::nullopt;
+  return max_of(*values);
+}
+
+std::optional<double> Tsdb::stddev_over_time(const std::string& name,
+                                             const Labels& labels, SimTime now,
+                                             SimTime window) const {
+  const auto values = window_values(find(name, labels), now, window);
+  if (!values) return std::nullopt;
+  return stddev(*values);
+}
+
+}  // namespace lts::telemetry

@@ -1,0 +1,79 @@
+// Prometheus-like time-series store with labeled series and the query
+// primitives the scheduler's Telemetry Fetcher uses: instant lookup, counter
+// rate over a window, and aggregations over time windows.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/series.hpp"
+#include "util/common.hpp"
+
+namespace lts::telemetry {
+
+using Labels = std::map<std::string, std::string>;
+
+/// Canonical series identity string: name{k1="v1",k2="v2"}.
+std::string encode_series_key(const std::string& name, const Labels& labels);
+
+class Tsdb {
+ public:
+  explicit Tsdb(std::size_t series_capacity = 720)
+      : series_capacity_(series_capacity) {}
+
+  /// Appends a sample, creating the series on first touch.
+  void append(const std::string& name, const Labels& labels, SimTime t,
+              double v);
+
+  /// Series lookup; nullptr when it does not exist.
+  const Series* find(const std::string& name, const Labels& labels) const;
+
+  /// All series with the given metric name, with their labels.
+  std::vector<std::pair<Labels, const Series*>> select(
+      const std::string& name) const;
+
+  std::size_t num_series() const { return series_.size(); }
+  std::uint64_t num_samples() const { return samples_appended_; }
+
+  // ---- query primitives ----
+
+  /// Most recent value, or nullopt if the series is missing/empty.
+  std::optional<double> latest(const std::string& name,
+                               const Labels& labels) const;
+
+  /// Counter rate: (last - first) / (t_last - t_first) over samples in
+  /// [now - window, now]. Prometheus `rate()` for monotone counters.
+  /// Returns 0 when fewer than two samples fall in the window.
+  double rate(const std::string& name, const Labels& labels, SimTime now,
+              SimTime window) const;
+
+  /// Mean of samples in [now - window, now]; nullopt if none.
+  std::optional<double> avg_over_time(const std::string& name,
+                                      const Labels& labels, SimTime now,
+                                      SimTime window) const;
+
+  std::optional<double> max_over_time(const std::string& name,
+                                      const Labels& labels, SimTime now,
+                                      SimTime window) const;
+
+  std::optional<double> stddev_over_time(const std::string& name,
+                                         const Labels& labels, SimTime now,
+                                         SimTime window) const;
+
+ private:
+  struct Entry {
+    Labels labels;
+    Series series;
+  };
+
+  std::size_t series_capacity_;
+  std::uint64_t samples_appended_ = 0;
+  // key -> entry; std::map keeps deterministic iteration for select().
+  std::map<std::string, Entry> series_;
+  // metric name -> keys, to make select() cheap.
+  std::map<std::string, std::vector<std::string>> by_name_;
+};
+
+}  // namespace lts::telemetry

@@ -1,0 +1,54 @@
+// Common small utilities shared by every LTS module.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lts {
+
+/// Simulation time in seconds. All simulator components use this unit.
+using SimTime = double;
+
+/// Bytes, kept as double because the flow model is fluid (fractional
+/// remaining bytes are meaningful mid-transfer).
+using Bytes = double;
+
+/// Bandwidth in bytes per second.
+using Rate = double;
+
+/// Thrown by LTS components on contract violations that are recoverable by
+/// the caller (bad configuration, malformed input, unknown names).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "LTS_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+/// Internal invariant check. Unlike `assert`, stays on in release builds:
+/// simulator correctness bugs must not silently corrupt experiment results.
+#define LTS_ASSERT(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::lts::detail::assert_fail(#expr, __FILE__, __LINE__);    \
+    }                                                           \
+  } while (0)
+
+/// Validates caller-supplied input; throws lts::Error with `msg` on failure.
+#define LTS_REQUIRE(expr, msg)          \
+  do {                                  \
+    if (!(expr)) {                      \
+      throw ::lts::Error(msg);          \
+    }                                   \
+  } while (0)
+
+}  // namespace lts

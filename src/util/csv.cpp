@@ -1,0 +1,157 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+#include "util/string_util.hpp"
+
+namespace lts {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+std::size_t CsvTable::col(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw Error("CsvTable: no column named '" + name + "'");
+}
+
+bool CsvTable::has_col(const std::string& name) const {
+  for (const auto& h : header_) {
+    if (h == name) return true;
+  }
+  return false;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  LTS_REQUIRE(row.size() == header_.size(),
+              "CsvTable::add_row: wrong number of cells");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  LTS_REQUIRE(i < rows_.size(), "CsvTable::row: index out of range");
+  return rows_[i];
+}
+
+const std::string& CsvTable::cell(std::size_t row_idx,
+                                  const std::string& col_name) const {
+  return row(row_idx)[col(col_name)];
+}
+
+double CsvTable::cell_double(std::size_t row_idx,
+                             const std::string& col_name) const {
+  const std::string& s = cell(row_idx, col_name);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  LTS_REQUIRE(end != s.c_str(), "CsvTable: cell not numeric: '" + s + "'");
+  return v;
+}
+
+std::vector<double> CsvTable::column_double(const std::string& col_name) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  const std::size_t c = col(col_name);
+  for (const auto& r : rows_) {
+    char* end = nullptr;
+    const double v = std::strtod(r[c].c_str(), &end);
+    LTS_REQUIRE(end != r[c].c_str(),
+                "CsvTable: cell not numeric: '" + r[c] + "'");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> csv_parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csv_escape(r[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  LTS_REQUIRE(f.good(), "CsvTable: cannot open for write: " + path);
+  write(f);
+}
+
+CsvTable CsvTable::read(std::istream& is) {
+  std::string line;
+  CsvTable table;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && !have_header) continue;
+    if (line.empty()) continue;
+    auto fields = csv_parse_line(line);
+    if (!have_header) {
+      table.header_ = std::move(fields);
+      have_header = true;
+    } else {
+      table.add_row(std::move(fields));
+    }
+  }
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path) {
+  std::ifstream f(path);
+  LTS_REQUIRE(f.good(), "CsvTable: cannot open for read: " + path);
+  return read(f);
+}
+
+}  // namespace lts

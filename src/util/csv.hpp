@@ -1,0 +1,57 @@
+// CSV reading/writing for training logs and experiment outputs.
+//
+// The training log produced by lts::core::TrainingLogger and consumed by
+// lts::core::Trainer is a plain CSV with a header row — the same "existing
+// logs and off-policy data" workflow the paper motivates for supervised
+// training (§2.3).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lts {
+
+/// In-memory CSV table: a header and rows of string cells.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Column index for `name`; throws lts::Error if absent.
+  std::size_t col(const std::string& name) const;
+  bool has_col(const std::string& name) const;
+
+  void add_row(std::vector<std::string> row);
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  const std::string& cell(std::size_t row, const std::string& col_name) const;
+  double cell_double(std::size_t row, const std::string& col_name) const;
+
+  /// Entire column parsed as double.
+  std::vector<double> column_double(const std::string& col_name) const;
+
+  /// Serializes with RFC-4180 quoting where needed.
+  void write(std::ostream& os) const;
+  void write_file(const std::string& path) const;
+
+  /// Parses from a stream; first row is the header.
+  static CsvTable read(std::istream& is);
+  static CsvTable read_file(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a single CSV field if it contains a comma, quote or newline.
+std::string csv_escape(const std::string& field);
+
+/// Splits one CSV line honoring quotes.
+std::vector<std::string> csv_parse_line(const std::string& line);
+
+}  // namespace lts

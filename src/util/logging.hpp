@@ -1,0 +1,47 @@
+// Minimal leveled logger. LTS is a library: logging defaults to WARN so that
+// tests and benches stay quiet, and experiment binaries can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lts {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global log threshold. Not synchronized: set it once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: LTS_LOG(kInfo) << "trained " << n << " trees";
+#define LTS_LOG(level_name)                                              \
+  for (bool lts_log_once =                                               \
+           (::lts::LogLevel::level_name >= ::lts::log_level());          \
+       lts_log_once; lts_log_once = false)                               \
+  ::lts::detail::LogLine(::lts::LogLevel::level_name)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace lts

@@ -1,0 +1,29 @@
+// Small string helpers (formatting, splitting) used across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lts {
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins elements with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Renders a byte count human-readably ("12.5 MB").
+std::string human_bytes(double bytes);
+
+/// Renders a duration in seconds human-readably ("1m 23.4s").
+std::string human_duration(double seconds);
+
+}  // namespace lts

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/string_util.hpp"
+
+namespace lts {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  LTS_REQUIRE(row.size() == header_.size(),
+              "AsciiTable: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_row_numeric(const std::string& label,
+                                 const std::vector<double>& values,
+                                 int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(strformat("%.*f", precision, v));
+  add_row(std::move(row));
+}
+
+std::string AsciiTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    return line;
+  };
+  std::string sep = "+";
+  for (const auto w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  std::string out;
+  if (!title.empty()) {
+    out += title;
+    out += '\n';
+  }
+  out += sep;
+  out += '\n';
+  out += render_row(header_);
+  out += '\n';
+  out += sep;
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  out += sep;
+  out += '\n';
+  return out;
+}
+
+}  // namespace lts

@@ -1,0 +1,51 @@
+// Fixed-size worker pool with a parallel-for helper.
+//
+// Used by the ML module to train random-forest trees concurrently (each tree
+// is independent given its own Rng stream, so results stay deterministic
+// regardless of worker count or interleaving). On single-core hosts the pool
+// degrades gracefully to sequential execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lts {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it finishes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), blocking until all complete. Exceptions
+  /// from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool for library internals.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace lts

@@ -1,0 +1,284 @@
+// Tests for the §8 extension components: rich telemetry metrics, the rich
+// feature set, scaled cluster topologies, and the live job-stream runner.
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+#include "exp/stream.hpp"
+#include "telemetry/exporters.hpp"
+
+namespace lts {
+namespace {
+
+// -------------------------------------------------------- rich metrics ----
+
+TEST(RichTelemetry, ExportersEmitRichSeries) {
+  exp::SimEnv env(118);
+  env.warmup();
+  for (const auto& name : env.node_names()) {
+    const telemetry::Labels labels{{"node", name}};
+    EXPECT_TRUE(env.tsdb()
+                    .latest(telemetry::kUplinkUtilMetric, labels)
+                    .has_value())
+        << name;
+    EXPECT_TRUE(env.tsdb()
+                    .latest(telemetry::kQueueDelayMetric, labels)
+                    .has_value());
+    EXPECT_TRUE(env.tsdb()
+                    .latest(telemetry::kActiveFlowsMetric, labels)
+                    .has_value());
+  }
+}
+
+TEST(RichTelemetry, SnapshotReflectsBackgroundTraffic) {
+  exp::EnvOptions options;
+  options.min_background_pods = 3;
+  options.max_background_pods = 3;
+  exp::SimEnv env(7, options);
+  env.warmup();
+  const auto snapshot = env.snapshot();
+  double max_up = 0.0, max_flows = 0.0;
+  for (const auto& node : snapshot.nodes) {
+    EXPECT_GE(node.uplink_util, 0.0);
+    EXPECT_LE(node.uplink_util, 1.0);
+    max_up = std::max(max_up, std::max(node.uplink_util,
+                                       node.downlink_util));
+    max_flows = std::max(max_flows, node.active_flows);
+  }
+  EXPECT_GT(max_up, 0.02);     // some node carries the bg fetches
+  EXPECT_GT(max_flows, 0.05);  // averaged flow count is nonzero somewhere
+}
+
+TEST(RichTelemetry, DisabledExporterEmitsNothing) {
+  exp::EnvOptions options;
+  options.exporter.rich_metrics = false;
+  exp::SimEnv env(7, options);
+  env.warmup();
+  const telemetry::Labels labels{{"node", "node-1"}};
+  EXPECT_FALSE(env.tsdb()
+                   .latest(telemetry::kUplinkUtilMetric, labels)
+                   .has_value());
+  // The snapshot still builds, with zeros.
+  const auto snapshot = env.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.nodes[0].uplink_util, 0.0);
+}
+
+// ------------------------------------------------------- rich features ----
+
+TEST(RichFeatures, SchemaExtendsTable1) {
+  const auto& base =
+      core::FeatureConstructor::feature_names(core::FeatureSet::kTable1);
+  const auto& rich =
+      core::FeatureConstructor::feature_names(core::FeatureSet::kRich);
+  ASSERT_EQ(rich.size(), base.size() + 4);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(rich[i], base[i]);  // strict prefix: models stay comparable
+  }
+}
+
+TEST(RichFeatures, ValuesLandInRichSlots) {
+  telemetry::NodeTelemetry t;
+  t.node = "n";
+  t.uplink_util = 0.4;
+  t.downlink_util = 0.7;
+  t.queue_delay = 0.002;
+  t.active_flows = 5.0;
+  spark::JobConfig config;
+  const auto x =
+      core::FeatureConstructor::build(t, config, core::FeatureSet::kRich);
+  const auto& names =
+      core::FeatureConstructor::feature_names(core::FeatureSet::kRich);
+  auto at = [&](const std::string& name) {
+    return x[static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), name) - names.begin())];
+  };
+  EXPECT_DOUBLE_EQ(at("uplink_util"), 0.4);
+  EXPECT_DOUBLE_EQ(at("downlink_util"), 0.7);
+  EXPECT_DOUBLE_EQ(at("queue_delay_ms"), 2.0);
+  EXPECT_DOUBLE_EQ(at("active_flows"), 5.0);
+}
+
+TEST(RichFeatures, DatasetFromLogCarriesRichColumns) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(1);
+  exp::CollectorOptions options;
+  options.repeats = 1;
+  const CsvTable log = exp::collect_training_data(matrix, options);
+  const auto rich =
+      core::Trainer::dataset_from_log(log, core::FeatureSet::kRich);
+  EXPECT_EQ(rich.num_features(),
+            core::FeatureConstructor::num_features(core::FeatureSet::kRich));
+  const auto base = core::Trainer::dataset_from_log(log);
+  EXPECT_EQ(base.num_features(),
+            core::FeatureConstructor::num_features());
+  EXPECT_EQ(base.size(), rich.size());
+}
+
+TEST(RichFeatures, LegacyLogsWithoutRichColumnsStillParse) {
+  // Simulate an old-schema CSV by dropping the rich columns.
+  core::TrainingLogger logger;
+  core::TrainingRecord r;
+  r.scenario_id = "s";
+  r.node = "node-1";
+  r.telemetry.node = "node-1";
+  r.config.executors = 2;
+  r.duration = 10.0;
+  logger.log(r);
+  CsvTable legacy(
+      {"scenario", "node", "snapshot_time", "rtt_mean", "rtt_max", "rtt_std",
+       "tx_rate", "rx_rate", "cpu_load", "mem_available", "app",
+       "input_records", "executors", "executor_memory", "shuffle_partitions",
+       "iterations", "join_skew", "duration", "shuffle_bytes",
+       "max_spill_penalty"});
+  legacy.add_row({"s", "node-1", "40", "0.03", "0.07", "0.02", "1e6", "2e6",
+                  "0.5", "7e9", "sort", "100000", "2", "1e9", "8", "3",
+                  "1.3", "12.5", "1e8", "1.0"});
+  const auto parsed = core::TrainingLogger::parse_row(legacy, 0);
+  EXPECT_DOUBLE_EQ(parsed.telemetry.uplink_util, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.duration, 12.5);
+}
+
+// -------------------------------------------------------- scaled spec ----
+
+TEST(ScaledCluster, BuildsRequestedShape) {
+  const auto spec = exp::scaled_cluster_spec(4, 3);
+  ASSERT_EQ(spec.sites.size(), 4u);
+  for (const auto& site : spec.sites) {
+    EXPECT_EQ(site.node_names.size(), 3u);
+  }
+  EXPECT_EQ(spec.wan_links.size(), 6u);  // full mesh of 4
+
+  exp::EnvOptions options;
+  options.cluster_spec = spec;
+  exp::SimEnv env(1, options);
+  EXPECT_EQ(env.node_names().size(), 12u);
+  env.warmup();
+  const auto snapshot = env.snapshot();
+  EXPECT_EQ(snapshot.nodes.size(), 12u);
+  for (const auto& node : snapshot.nodes) {
+    EXPECT_GT(node.rtt_mean, 0.0);
+  }
+}
+
+TEST(ScaledCluster, DistanceGrowsWithSiteIndex) {
+  const auto spec = exp::scaled_cluster_spec(5, 1);
+  exp::EnvOptions options;
+  options.cluster_spec = spec;
+  options.max_node_extra_delay = 0.0;  // isolate the WAN structure
+  exp::SimEnv env(1, options);
+  const auto& flows = env.cluster().flows();
+  const SimTime near = flows.base_rtt(env.cluster().node(0).vertex(),
+                                      env.cluster().node(1).vertex());
+  const SimTime far = flows.base_rtt(env.cluster().node(0).vertex(),
+                                     env.cluster().node(4).vertex());
+  EXPECT_LT(near, far);
+}
+
+TEST(ScaledCluster, JobsRunAtLargerScale) {
+  exp::EnvOptions options;
+  options.cluster_spec = exp::scaled_cluster_spec(4, 3);
+  exp::SimEnv env(9, options);
+  env.warmup();
+  spark::JobConfig job;
+  job.executors = 6;
+  const auto result = env.run_job(job, 7, 3);
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(ScaledCluster, RejectsDegenerateShapes) {
+  EXPECT_THROW(exp::scaled_cluster_spec(0, 2), Error);
+  EXPECT_THROW(exp::scaled_cluster_spec(2, 0), Error);
+}
+
+// ------------------------------------------------------------- stream ----
+
+TEST(Stream, RunsAllJobsUnderEveryPolicy) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(8);
+  // A small model for kModel.
+  exp::CollectorOptions collect;
+  collect.repeats = 1;
+  const CsvTable log = exp::collect_training_data(matrix, collect);
+  const auto model = std::shared_ptr<const ml::Regressor>(
+      core::Trainer::train("linear", core::Trainer::dataset_from_log(log)));
+
+  exp::StreamOptions options;
+  options.num_jobs = 6;
+  options.mean_interarrival = 8.0;
+  options.seed = 5;
+  for (const auto policy : {exp::StreamPolicy::kModel,
+                            exp::StreamPolicy::kKubeDefault,
+                            exp::StreamPolicy::kRandom}) {
+    const auto result = exp::run_job_stream(policy, model, matrix, options);
+    ASSERT_EQ(result.jobs.size(), 6u);
+    for (const auto& job : result.jobs) {
+      EXPECT_GT(job.duration, 1.0);
+      EXPECT_FALSE(job.driver_node.empty());
+      EXPECT_FALSE(job.scenario_id.empty());
+    }
+    EXPECT_GT(result.makespan, 0.0);
+  }
+}
+
+TEST(Stream, JobSequenceIdenticalAcrossPolicies) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(8);
+  exp::StreamOptions options;
+  options.num_jobs = 5;
+  options.seed = 11;
+  const auto a =
+      exp::run_job_stream(exp::StreamPolicy::kRandom, nullptr, matrix,
+                          options);
+  const auto b =
+      exp::run_job_stream(exp::StreamPolicy::kKubeDefault, nullptr, matrix,
+                          options);
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].scenario_id, b.jobs[j].scenario_id);
+  }
+}
+
+TEST(Stream, DeterministicForSeed) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(8);
+  exp::StreamOptions options;
+  options.num_jobs = 5;
+  options.seed = 13;
+  const auto a = exp::run_job_stream(exp::StreamPolicy::kRandom, nullptr,
+                                     matrix, options);
+  const auto b = exp::run_job_stream(exp::StreamPolicy::kRandom, nullptr,
+                                     matrix, options);
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.jobs[j].duration, b.jobs[j].duration);
+  }
+}
+
+TEST(Stream, ModelPolicyRequiresFittedModel) {
+  const auto matrix = exp::paper_scenario_matrix();
+  exp::StreamOptions options;
+  EXPECT_THROW(exp::run_job_stream(exp::StreamPolicy::kModel, nullptr,
+                                   matrix, options),
+               Error);
+}
+
+TEST(Stream, ResidualJobCollectorMatchesSchema) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(1);
+  exp::CollectorOptions options;
+  options.repeats = 1;
+  options.residual_job = true;
+  const CsvTable log = exp::collect_training_data(matrix, options);
+  EXPECT_EQ(log.num_rows(), 6u);
+  // Residual traffic should leave fingerprints in some node's rate columns.
+  double max_rate = 0.0;
+  for (std::size_t i = 0; i < log.num_rows(); ++i) {
+    max_rate = std::max(max_rate, log.cell_double(i, "tx_rate"));
+    max_rate = std::max(max_rate, log.cell_double(i, "rx_rate"));
+  }
+  EXPECT_GT(max_rate, 1e6);
+}
+
+}  // namespace
+}  // namespace lts

@@ -1,0 +1,793 @@
+// Unit tests for the ML library: matrix/solver, dataset, preprocessing,
+// metrics, and the four regressor families with serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear.hpp"
+#include "ml/matrix.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+#include "ml/preprocess.hpp"
+#include "ml/tree.hpp"
+#include "ml/validate.hpp"
+#include "util/rng.hpp"
+
+namespace lts::ml {
+namespace {
+
+// Synthetic regression problem with known structure: linear part + an
+// interaction + noise. Used across model families.
+Dataset make_synthetic(std::size_t n, std::uint64_t seed,
+                       double noise = 0.05, bool interaction = true) {
+  Rng rng(seed);
+  Dataset data;
+  data.set_feature_names({"x0", "x1", "x2", "x3"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1, 1);
+    const double x1 = rng.uniform(-1, 1);
+    const double x2 = rng.uniform(0, 2);
+    const double x3 = rng.uniform(-1, 1);  // irrelevant feature
+    double y = 3.0 * x0 - 2.0 * x1 + 0.5 * x2 + 1.0;
+    if (interaction) y += 2.0 * x0 * x1;
+    y += noise * rng.normal();
+    data.add_row(std::vector<double>{x0, x1, x2, x3}, y);
+  }
+  return data;
+}
+
+// --------------------------------------------------------------- matrix ----
+
+TEST(Matrix, BasicAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 7.0);
+}
+
+TEST(Matrix, PushRowFixesWidth) {
+  Matrix m;
+  m.push_row(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_THROW(m.push_row(std::vector<double>{1, 2}), Error);
+  m.push_row(std::vector<double>{4, 5, 6});
+  EXPECT_EQ(m.rows(), 2u);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  const auto x = solve_cholesky(a, {10.0, 8.0});
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalue -1
+  EXPECT_THROW(solve_cholesky(a, {1.0, 1.0}), Error);
+}
+
+TEST(Cholesky, LargerRandomSystem) {
+  Rng rng(3);
+  const std::size_t n = 12;
+  // Build SPD A = B^T B + I and verify A x ~= b round trip.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) a(i, j) += b(k, i) * b(k, j);
+    }
+    a(i, i) += 1.0;
+  }
+  std::vector<double> rhs(n);
+  for (auto& v : rhs) v = rng.normal();
+  Matrix a_copy = a;
+  const auto x = solve_cholesky(std::move(a_copy), rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * x[j];
+    EXPECT_NEAR(acc, rhs[i], 1e-8);
+  }
+}
+
+// -------------------------------------------------------------- dataset ----
+
+TEST(Dataset, SelectWithDuplicates) {
+  Dataset data = make_synthetic(10, 1);
+  const std::vector<std::size_t> idx{0, 0, 5};
+  const Dataset sub = data.select(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.target(0), sub.target(1));
+  EXPECT_DOUBLE_EQ(sub.target(2), data.target(5));
+}
+
+TEST(Dataset, TrainTestSplitPartitions) {
+  Dataset data = make_synthetic(100, 2);
+  Rng rng(9);
+  const auto [train, test] = data.train_test_split(0.25, rng);
+  EXPECT_EQ(train.size(), 75u);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.num_features(), 4u);
+}
+
+TEST(Dataset, MismatchedNamesRejected) {
+  Dataset data;
+  data.add_row(std::vector<double>{1.0, 2.0}, 3.0);
+  EXPECT_THROW(data.set_feature_names({"only-one"}), Error);
+}
+
+// ----------------------------------------------------------- preprocess ----
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  Dataset data = make_synthetic(500, 3);
+  StandardScaler scaler;
+  scaler.fit(data.x());
+  const Matrix z = scaler.transform(data.x());
+  for (std::size_t j = 0; j < z.cols(); ++j) {
+    double sum = 0, sumsq = 0;
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      sum += z(i, j);
+      sumsq += z(i, j) * z(i, j);
+    }
+    const double mean = sum / z.rows();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(sumsq / z.rows() - mean * mean, 1.0, 1e-6);
+  }
+}
+
+TEST(StandardScaler, InverseTransformRoundTrips) {
+  Dataset data = make_synthetic(50, 4);
+  StandardScaler scaler;
+  scaler.fit(data.x());
+  const Matrix z = scaler.transform(data.x());
+  const Matrix back = scaler.inverse_transform(z);
+  for (std::size_t i = 0; i < back.rows(); ++i) {
+    for (std::size_t j = 0; j < back.cols(); ++j) {
+      EXPECT_NEAR(back(i, j), data.x()(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(StandardScaler, ConstantColumnSafe) {
+  Matrix x(4, 1, 7.0);
+  StandardScaler scaler;
+  scaler.fit(x);
+  const auto z = scaler.transform_row(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(StandardScaler, JsonRoundTrip) {
+  Dataset data = make_synthetic(20, 5);
+  StandardScaler scaler;
+  scaler.fit(data.x());
+  const StandardScaler back = StandardScaler::from_json(
+      Json::parse(scaler.to_json().dump()));
+  EXPECT_EQ(back.mean(), scaler.mean());
+  EXPECT_EQ(back.stddev(), scaler.stddev());
+}
+
+TEST(OneHotEncoder, EncodesAndHandlesUnseen) {
+  OneHotEncoder enc;
+  const std::vector<std::string> values{"sort", "join", "sort", "pagerank"};
+  enc.fit(values);
+  EXPECT_EQ(enc.num_categories(), 3u);
+  const auto v = enc.transform_one("pagerank");
+  EXPECT_DOUBLE_EQ(v[enc.category_index("pagerank")], 1.0);
+  double total = 0;
+  for (const double x : v) total += x;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  // Unseen category -> all zeros, not an error.
+  const auto unseen = enc.transform_one("wordcount");
+  for (const double x : unseen) EXPECT_DOUBLE_EQ(x, 0.0);
+  EXPECT_EQ(enc.category_index("wordcount"), -1);
+}
+
+TEST(OneHotEncoder, JsonRoundTrip) {
+  OneHotEncoder enc;
+  const std::vector<std::string> values{"b", "a"};
+  enc.fit(values);
+  const auto back =
+      OneHotEncoder::from_json(Json::parse(enc.to_json().dump()));
+  EXPECT_EQ(back.categories(), enc.categories());
+}
+
+// -------------------------------------------------------------- metrics ----
+
+TEST(Metrics, Basics) {
+  const std::vector<double> truth{1, 2, 3, 4};
+  const std::vector<double> pred{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(rmse(truth, pred), 0.0);
+  EXPECT_DOUBLE_EQ(mae(truth, pred), 0.0);
+  EXPECT_DOUBLE_EQ(r2_score(truth, pred), 1.0);
+  const std::vector<double> off{2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(rmse(truth, off), 1.0);
+  EXPECT_DOUBLE_EQ(mae(truth, off), 1.0);
+}
+
+TEST(Metrics, R2OfMeanPredictorIsZero) {
+  const std::vector<double> truth{1, 2, 3, 4, 5};
+  const std::vector<double> mean_pred(5, 3.0);
+  EXPECT_NEAR(r2_score(truth, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, MapeSkipsZeros) {
+  const std::vector<double> truth{0.0, 2.0};
+  const std::vector<double> pred{5.0, 1.0};
+  EXPECT_DOUBLE_EQ(mape(truth, pred), 0.5);
+}
+
+TEST(Metrics, TopkHitMin) {
+  const std::vector<double> truth{5, 1, 3};  // fastest = index 1
+  const std::vector<double> p1{10, 2, 7}, p2{2, 10, 7}, p3{2, 3, 7};
+  EXPECT_TRUE(topk_hit_min(truth, p1, 1));   // picks 1
+  EXPECT_FALSE(topk_hit_min(truth, p2, 1));  // picks 0
+  EXPECT_TRUE(topk_hit_min(truth, p3, 2));   // 1 in top-2
+}
+
+TEST(Metrics, ArgsortStable) {
+  const auto order = argsort_ascending(std::vector<double>{3, 1, 2, 1});
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+// --------------------------------------------------------------- linear ----
+
+TEST(Linear, RecoversCoefficientsWithoutInteraction) {
+  const Dataset data = make_synthetic(2000, 7, 0.01, /*interaction=*/false);
+  LinearRegression model;
+  model.fit(data);
+  ASSERT_EQ(model.coefficients().size(), 4u);
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 0.05);
+  EXPECT_NEAR(model.coefficients()[1], -2.0, 0.05);
+  EXPECT_NEAR(model.coefficients()[2], 0.5, 0.05);
+  EXPECT_NEAR(model.coefficients()[3], 0.0, 0.05);
+  EXPECT_NEAR(model.intercept(), 1.0, 0.1);
+}
+
+TEST(Linear, RidgeShrinksCoefficients) {
+  const Dataset data = make_synthetic(100, 8, 0.1, false);
+  LinearRegression ols{LinearParams{1e-8}};
+  LinearRegression ridge{LinearParams{10.0}};
+  ols.fit(data);
+  ridge.fit(data);
+  EXPECT_LT(std::abs(ridge.coefficients()[0]),
+            std::abs(ols.coefficients()[0]));
+}
+
+TEST(Linear, HandlesCollinearFeaturesViaRidge) {
+  Rng rng(11);
+  Dataset data;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-1, 1);
+    data.add_row(std::vector<double>{x, x}, 2.0 * x);  // perfectly collinear
+  }
+  LinearRegression model{LinearParams{1e-3}};
+  model.fit(data);  // must not throw
+  EXPECT_NEAR(model.predict_row(std::vector<double>{0.5, 0.5}), 1.0, 0.05);
+}
+
+TEST(Linear, SerializationRoundTrip) {
+  const Dataset data = make_synthetic(200, 9);
+  LinearRegression model;
+  model.fit(data);
+  const Json j = model_to_json(model);
+  const auto restored = model_from_json(Json::parse(j.dump()));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(restored->predict_row(data.row(i)),
+                     model.predict_row(data.row(i)));
+  }
+}
+
+TEST(Linear, ImportancesNormalized) {
+  const Dataset data = make_synthetic(500, 10);
+  LinearRegression model;
+  model.fit(data);
+  const auto imp = model.feature_importances();
+  double total = 0;
+  for (const double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(imp[0], imp[3]);  // x0 matters, x3 is noise
+}
+
+// ----------------------------------------------------------------- tree ----
+
+TEST(Tree, FitsStepFunctionExactly) {
+  Dataset data;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i / 100.0;
+    data.add_row(std::vector<double>{x}, x < 0.5 ? 1.0 : 5.0);
+  }
+  DecisionTreeRegressor tree{TreeParams{.max_depth = 3}};
+  tree.fit(data);
+  EXPECT_DOUBLE_EQ(tree.predict_row(std::vector<double>{0.2}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict_row(std::vector<double>{0.9}), 5.0);
+  EXPECT_EQ(tree.num_leaves(), 2u);
+}
+
+TEST(Tree, RespectsMaxDepth) {
+  const Dataset data = make_synthetic(300, 12);
+  DecisionTreeRegressor tree{TreeParams{.max_depth = 2}};
+  tree.fit(data);
+  EXPECT_LE(tree.depth(), 2);
+  EXPECT_LE(tree.num_leaves(), 4u);
+}
+
+TEST(Tree, MinSamplesLeafEnforced) {
+  const Dataset data = make_synthetic(100, 13);
+  TreeParams params;
+  params.min_samples_leaf = 10;
+  DecisionTreeRegressor tree{params};
+  tree.fit(data);
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) {
+      EXPECT_GE(node.n_samples, 10);
+    }
+  }
+}
+
+TEST(Tree, PureNodeStopsSplitting) {
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.add_row(std::vector<double>{static_cast<double>(i)}, 42.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_row(std::vector<double>{3.0}), 42.0);
+}
+
+TEST(Tree, BeatsLinearOnInteraction) {
+  const Dataset train = make_synthetic(3000, 14, 0.01);
+  const Dataset test = make_synthetic(500, 15, 0.01);
+  DecisionTreeRegressor tree{TreeParams{.max_depth = 10}};
+  LinearRegression linear;
+  tree.fit(train);
+  linear.fit(train);
+  std::vector<double> tree_pred, lin_pred;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    tree_pred.push_back(tree.predict_row(test.row(i)));
+    lin_pred.push_back(linear.predict_row(test.row(i)));
+  }
+  EXPECT_LT(rmse(test.y(), tree_pred), rmse(test.y(), lin_pred));
+}
+
+TEST(Tree, SerializationRoundTrip) {
+  const Dataset data = make_synthetic(200, 16);
+  DecisionTreeRegressor tree;
+  tree.fit(data);
+  const auto restored = model_from_json(Json::parse(
+      model_to_json(tree).dump()));
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(restored->predict_row(data.row(i)),
+                     tree.predict_row(data.row(i)));
+  }
+}
+
+// --------------------------------------------------------------- forest ----
+
+TEST(Forest, FitsAndGeneralizes) {
+  const Dataset train = make_synthetic(2000, 17);
+  const Dataset test = make_synthetic(400, 18);
+  ForestParams params;
+  params.n_estimators = 60;
+  RandomForestRegressor forest{params};
+  forest.fit(train);
+  std::vector<double> pred;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(forest.predict_row(test.row(i)));
+  }
+  EXPECT_GT(r2_score(test.y(), pred), 0.9);
+}
+
+TEST(Forest, DeterministicForSeed) {
+  const Dataset data = make_synthetic(300, 19);
+  ForestParams params;
+  params.n_estimators = 20;
+  params.seed = 5;
+  RandomForestRegressor a{params}, b{params};
+  a.fit(data);
+  b.fit(data);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_row(data.row(i)), b.predict_row(data.row(i)));
+  }
+}
+
+TEST(Forest, DifferentSeedsDiffer) {
+  const Dataset data = make_synthetic(300, 20);
+  ForestParams pa, pb;
+  pa.n_estimators = pb.n_estimators = 10;
+  pa.seed = 1;
+  pb.seed = 2;
+  RandomForestRegressor a{pa}, b{pb};
+  a.fit(data);
+  b.fit(data);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 20 && !any_diff; ++i) {
+    any_diff = a.predict_row(data.row(i)) != b.predict_row(data.row(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Forest, OobScoreReasonable) {
+  const Dataset data = make_synthetic(1500, 21);
+  ForestParams params;
+  params.n_estimators = 60;
+  params.compute_oob = true;
+  RandomForestRegressor forest{params};
+  forest.fit(data);
+  EXPECT_GT(forest.oob_r2(), 0.85);
+  EXPECT_LE(forest.oob_r2(), 1.0);
+}
+
+TEST(Forest, ImportancesFavorInformativeFeatures) {
+  const Dataset data = make_synthetic(2000, 22);
+  ForestParams params;
+  params.n_estimators = 40;
+  RandomForestRegressor forest{params};
+  forest.fit(data);
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 4u);
+  EXPECT_GT(imp[0], imp[3]);
+  EXPECT_GT(imp[1], imp[3]);
+  double total = 0;
+  for (const double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Forest, SerializationRoundTrip) {
+  const Dataset data = make_synthetic(300, 23);
+  ForestParams params;
+  params.n_estimators = 8;
+  RandomForestRegressor forest{params};
+  forest.fit(data);
+  const auto restored = model_from_json(Json::parse(
+      model_to_json(forest).dump()));
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(restored->predict_row(data.row(i)),
+                     forest.predict_row(data.row(i)));
+  }
+}
+
+// ------------------------------------------------------------------ gbt ----
+
+TEST(Gbt, FitsAndGeneralizes) {
+  const Dataset train = make_synthetic(2000, 24);
+  const Dataset test = make_synthetic(400, 25);
+  GbtParams params;
+  params.n_rounds = 150;
+  GradientBoostedTrees model{params};
+  model.fit(train);
+  std::vector<double> pred;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(model.predict_row(test.row(i)));
+  }
+  EXPECT_GT(r2_score(test.y(), pred), 0.95);
+}
+
+TEST(Gbt, ShrinkageControlsStepSize) {
+  const Dataset data = make_synthetic(500, 26);
+  GbtParams slow, fast;
+  slow.n_rounds = fast.n_rounds = 5;
+  slow.learning_rate = 0.01;
+  fast.learning_rate = 0.5;
+  slow.early_stopping_rounds = fast.early_stopping_rounds = 0;
+  GradientBoostedTrees a{slow}, b{fast};
+  a.fit(data);
+  b.fit(data);
+  // After few rounds, the slow learner is still near the base score.
+  double da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    da += std::abs(a.predict_row(data.row(i)) - a.base_score());
+    db += std::abs(b.predict_row(data.row(i)) - b.base_score());
+  }
+  EXPECT_LT(da, db);
+}
+
+TEST(Gbt, EarlyStoppingTruncatesRounds) {
+  const Dataset data = make_synthetic(600, 27, 0.5);  // noisy: overfits fast
+  GbtParams params;
+  params.n_rounds = 500;
+  params.learning_rate = 0.3;
+  params.early_stopping_rounds = 10;
+  params.validation_fraction = 0.2;
+  GradientBoostedTrees model{params};
+  model.fit(data);
+  EXPECT_LT(model.num_trees(), 500u);
+  EXPECT_FALSE(std::isnan(model.best_validation_rmse()));
+}
+
+TEST(Gbt, RegularizationShrinksLeafValues) {
+  const Dataset data = make_synthetic(500, 28);
+  GbtParams weak, strong;
+  weak.n_rounds = strong.n_rounds = 30;
+  weak.reg_lambda = 0.0;
+  strong.reg_lambda = 100.0;
+  weak.early_stopping_rounds = strong.early_stopping_rounds = 0;
+  GradientBoostedTrees a{weak}, b{strong};
+  a.fit(data);
+  b.fit(data);
+  double da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    da += std::abs(a.predict_row(data.row(i)) - a.base_score());
+    db += std::abs(b.predict_row(data.row(i)) - b.base_score());
+  }
+  EXPECT_GT(da, db);
+}
+
+TEST(Gbt, DeterministicForSeed) {
+  const Dataset data = make_synthetic(300, 29);
+  GbtParams params;
+  params.n_rounds = 30;
+  params.subsample = 0.7;
+  params.colsample = 0.7;
+  GradientBoostedTrees a{params}, b{params};
+  a.fit(data);
+  b.fit(data);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_row(data.row(i)), b.predict_row(data.row(i)));
+  }
+}
+
+TEST(Gbt, SerializationRoundTrip) {
+  const Dataset data = make_synthetic(300, 30);
+  GbtParams params;
+  params.n_rounds = 20;
+  GradientBoostedTrees model{params};
+  model.fit(data);
+  const auto restored = model_from_json(Json::parse(
+      model_to_json(model).dump()));
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(restored->predict_row(data.row(i)),
+                     model.predict_row(data.row(i)));
+  }
+}
+
+TEST(Gbt, InvalidParamsRejected) {
+  EXPECT_THROW(GradientBoostedTrees(GbtParams{.n_rounds = 0}), Error);
+  EXPECT_THROW(GradientBoostedTrees(GbtParams{.learning_rate = 0.0}), Error);
+  EXPECT_THROW(GradientBoostedTrees(GbtParams{.subsample = 1.5}), Error);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(Registry, CreatesAllRegisteredModels) {
+  for (const auto& name : registered_regressors()) {
+    const auto model = create_regressor(name);
+    EXPECT_EQ(model->name(), name);
+    EXPECT_FALSE(model->is_fitted());
+  }
+  EXPECT_THROW(create_regressor("svm"), Error);
+}
+
+TEST(Registry, ParamsApplied) {
+  Json params = Json::object();
+  params["n_estimators"] = 7;
+  const auto model = create_regressor("random_forest", params);
+  const auto* forest = dynamic_cast<RandomForestRegressor*>(model.get());
+  ASSERT_NE(forest, nullptr);
+  EXPECT_EQ(forest->params().n_estimators, 7);
+}
+
+TEST(Registry, SaveLoadFile) {
+  const Dataset data = make_synthetic(200, 31);
+  const auto model = create_regressor("linear");
+  model->fit(data);
+  save_model(*model, "/tmp/lts_test_model.json");
+  const auto restored = load_model("/tmp/lts_test_model.json");
+  EXPECT_EQ(restored->name(), "linear");
+  EXPECT_DOUBLE_EQ(restored->predict_row(data.row(0)),
+                   model->predict_row(data.row(0)));
+}
+
+// ------------------------------------------------------------ log target ----
+
+TEST(LogTarget, PredictsInOriginalScale) {
+  Rng rng(32);
+  Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 3.0);
+    data.add_row(std::vector<double>{x}, std::exp(x));  // log-linear truth
+  }
+  LogTargetRegressor model(create_regressor("linear"));
+  model.fit(data);
+  EXPECT_NEAR(model.predict_row(std::vector<double>{2.0}), std::exp(2.0),
+              0.5);
+}
+
+TEST(LogTarget, RejectsNonPositiveTargets) {
+  Dataset data;
+  data.add_row(std::vector<double>{1.0}, 0.0);
+  data.add_row(std::vector<double>{2.0}, 1.0);
+  LogTargetRegressor model(create_regressor("linear"));
+  EXPECT_THROW(model.fit(data), Error);
+}
+
+TEST(LogTarget, RegistryWrapAndSerialize) {
+  Json params = Json::object();
+  params["log_target"] = true;
+  const auto model = create_regressor("linear", params);
+  EXPECT_NE(dynamic_cast<LogTargetRegressor*>(model.get()), nullptr);
+
+  Rng rng(33);
+  Dataset data;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 2.0);
+    data.add_row(std::vector<double>{x}, 1.0 + x);
+  }
+  model->fit(data);
+  const auto restored = model_from_json(Json::parse(
+      model_to_json(*model).dump()));
+  EXPECT_NE(dynamic_cast<LogTargetRegressor*>(restored.get()), nullptr);
+  EXPECT_DOUBLE_EQ(restored->predict_row(data.row(0)),
+                   model->predict_row(data.row(0)));
+}
+
+// ------------------------------------------------------------- validate ----
+
+TEST(Validate, KfoldPartitionsExactly) {
+  Rng rng(34);
+  const auto folds = kfold_indices(100, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(100, 0);
+  for (const auto& [train, test] : folds) {
+    EXPECT_EQ(train.size() + test.size(), 100u);
+    for (const auto i : test) ++seen[i];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Validate, CrossValidateSaneNumbers) {
+  const Dataset data = make_synthetic(600, 35, 0.1, false);
+  const auto cv = cross_validate(
+      [] { return create_regressor("linear"); }, data, 4);
+  EXPECT_EQ(cv.fold_rmse.size(), 4u);
+  EXPECT_NEAR(cv.mean_rmse, 0.1, 0.05);
+  EXPECT_GT(cv.mean_r2, 0.95);
+}
+
+TEST(Validate, GridSearchPicksBetterParams) {
+  const Dataset data = make_synthetic(800, 36);
+  std::vector<Json> grid;
+  {
+    Json shallow = Json::object();
+    shallow["max_depth"] = 1;
+    grid.push_back(shallow);
+    Json deep = Json::object();
+    deep["max_depth"] = 8;
+    grid.push_back(deep);
+  }
+  const auto result = grid_search(
+      [](const Json& p) { return create_regressor("decision_tree", p); },
+      grid, data, 3);
+  EXPECT_EQ(result.best_params.at("max_depth").as_int(), 8);
+  EXPECT_EQ(result.all.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lts::ml
+
+// ---------------------------------------------------------- uncertainty ----
+
+namespace lts::ml {
+namespace {
+
+TEST(Uncertainty, PointModelsReportZeroSpread) {
+  const Dataset data = make_synthetic(200, 40);
+  for (const std::string name : {"linear", "decision_tree", "xgboost"}) {
+    const auto model = create_regressor(name);
+    model->fit(data);
+    const auto p = model->predict_with_uncertainty(data.row(0));
+    EXPECT_DOUBLE_EQ(p.stddev, 0.0) << name;
+    EXPECT_DOUBLE_EQ(p.mean, model->predict_row(data.row(0))) << name;
+  }
+}
+
+TEST(Uncertainty, ForestSpreadIsMeaningful) {
+  const Dataset data = make_synthetic(500, 41, 0.3);
+  ForestParams params;
+  params.n_estimators = 50;
+  RandomForestRegressor forest{params};
+  forest.fit(data);
+  const auto in_dist = forest.predict_with_uncertainty(data.row(0));
+  EXPECT_DOUBLE_EQ(in_dist.mean, forest.predict_row(data.row(0)));
+  EXPECT_GT(in_dist.stddev, 0.0);
+  // Far outside the training range the trees disagree at least as much.
+  const std::vector<double> far{50.0, -50.0, 100.0, 0.0};
+  const auto out_dist = forest.predict_with_uncertainty(far);
+  EXPECT_GE(out_dist.stddev, 0.0);
+}
+
+TEST(Uncertainty, LogTargetTransformsSpread) {
+  Rng rng(42);
+  Dataset data;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0.0, 2.0);
+    data.add_row(std::vector<double>{x}, std::exp(x + 0.1 * rng.normal()));
+  }
+  Json params = Json::object();
+  params["log_target"] = true;
+  params["n_estimators"] = 30;
+  const auto model = create_regressor("random_forest", params);
+  model->fit(data);
+  const std::vector<double> x{1.0};
+  const auto p = model->predict_with_uncertainty(x);
+  EXPECT_NEAR(p.mean, model->predict_row(x), 1e-9);
+  EXPECT_GT(p.stddev, 0.0);
+  // Spread is in original (seconds) scale: same order as the mean's noise.
+  EXPECT_LT(p.stddev, p.mean);
+}
+
+}  // namespace
+}  // namespace lts::ml
+
+// ------------------------------------------------------------- analysis ----
+
+#include "ml/analysis.hpp"
+
+namespace lts::ml {
+namespace {
+
+TEST(Analysis, PermutationImportanceFindsRealFeatures) {
+  const Dataset train = make_synthetic(1500, 50);
+  const Dataset test = make_synthetic(400, 51);
+  ForestParams params;
+  params.n_estimators = 40;
+  RandomForestRegressor forest{params};
+  forest.fit(train);
+  const auto imp = permutation_importance(forest, test);
+  ASSERT_EQ(imp.importance.size(), 4u);
+  EXPECT_GT(imp.baseline_rmse, 0.0);
+  // x0, x1 matter; x3 is pure noise.
+  EXPECT_GT(imp.importance[0], 5.0 * imp.importance[3] + 1e-6);
+  EXPECT_GT(imp.importance[1], 5.0 * imp.importance[3] + 1e-6);
+}
+
+TEST(Analysis, PermutationImportanceDeterministic) {
+  const Dataset data = make_synthetic(300, 52);
+  LinearRegression model;
+  model.fit(data);
+  const auto a = permutation_importance(model, data, 2, 5);
+  const auto b = permutation_importance(model, data, 2, 5);
+  EXPECT_EQ(a.importance, b.importance);
+}
+
+TEST(Analysis, PartialDependenceRecoversMonotoneEffect) {
+  // y = 3*x0 ... : PD along x0 must be increasing.
+  const Dataset data = make_synthetic(1000, 53, 0.05, false);
+  ForestParams params;
+  params.n_estimators = 40;
+  RandomForestRegressor forest{params};
+  forest.fit(data);
+  const auto pd = partial_dependence(forest, data, 0, 8);
+  ASSERT_GE(pd.grid.size(), 4u);
+  EXPECT_LT(pd.response.front(), pd.response.back());
+  // And flat along the noise feature x3.
+  const auto pd_noise = partial_dependence(forest, data, 3, 8);
+  const double swing =
+      std::abs(pd_noise.response.back() - pd_noise.response.front());
+  const double real_swing =
+      std::abs(pd.response.back() - pd.response.front());
+  EXPECT_LT(swing, real_swing / 3.0);
+}
+
+TEST(Analysis, InputValidation) {
+  const Dataset data = make_synthetic(50, 54);
+  LinearRegression unfitted;
+  EXPECT_THROW(permutation_importance(unfitted, data), Error);
+  LinearRegression model;
+  model.fit(data);
+  EXPECT_THROW(partial_dependence(model, data, 99), Error);
+  EXPECT_THROW(partial_dependence(model, data, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace lts::ml

@@ -1,0 +1,343 @@
+// Property-based tests: invariants that must hold across randomized inputs,
+// swept with parameterized gtest suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "cluster/cpu.hpp"
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
+#include "ml/model.hpp"
+#include "net/flow.hpp"
+#include "net/topology.hpp"
+#include "simcore/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lts {
+namespace {
+
+// =================================================== flow conservation ====
+
+class FlowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowPropertyTest, BytesConservedAcrossRandomWorkload) {
+  // Every byte transmitted by some host is received by another; totals
+  // match the requested transfer sizes exactly once all flows finish.
+  Rng rng(GetParam());
+  sim::Engine engine;
+  net::Topology topo;
+  std::vector<net::VertexId> hosts;
+  const auto r1 = topo.add_router("r1");
+  const auto r2 = topo.add_router("r2");
+  topo.add_duplex_link(r1, r2, rng.uniform(5e7, 5e8), rng.uniform(1e-3, 5e-2));
+  for (int i = 0; i < 5; ++i) {
+    hosts.push_back(topo.add_host("h" + std::to_string(i)));
+    topo.add_duplex_link(hosts.back(), i % 2 == 0 ? r1 : r2,
+                         rng.uniform(1e8, 1e9), 1e-4);
+  }
+  net::FlowManager fm(engine, topo);
+  double total_requested = 0.0;
+  const int n_flows = 30;
+  for (int i = 0; i < n_flows; ++i) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    auto dst = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    if (dst >= src) ++dst;
+    const Bytes size = rng.uniform(1e5, 5e7);
+    total_requested += size;
+    engine.schedule_in(rng.uniform(0.0, 2.0), [&fm, &hosts, src, dst, size] {
+      fm.start(hosts[src], hosts[dst], size, nullptr);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(fm.num_completed(), static_cast<std::uint64_t>(n_flows));
+  double total_tx = 0.0, total_rx = 0.0;
+  for (const auto h : hosts) {
+    total_tx += fm.host_tx_bytes(h);
+    total_rx += fm.host_rx_bytes(h);
+  }
+  EXPECT_NEAR(total_tx, total_requested, total_requested * 1e-9);
+  EXPECT_NEAR(total_rx, total_requested, total_requested * 1e-9);
+}
+
+TEST_P(FlowPropertyTest, LinkCapacityNeverExceeded) {
+  Rng rng(GetParam() ^ 0x1111);
+  sim::Engine engine;
+  net::Topology topo;
+  const auto a = topo.add_host("a");
+  const auto b = topo.add_host("b");
+  const auto c = topo.add_host("c");
+  const auto r = topo.add_router("r");
+  topo.add_duplex_link(a, r, 2e8, 1e-4);
+  topo.add_duplex_link(b, r, 1e8, 1e-4);
+  topo.add_duplex_link(c, r, 3e8, 1e-4);
+  net::FlowManager fm(engine, topo);
+  const net::VertexId hosts[] = {a, b, c};
+  for (int i = 0; i < 25; ++i) {
+    const auto s = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    auto d = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    if (d >= s) ++d;
+    fm.start(hosts[s], hosts[d], rng.uniform(1e6, 1e8), nullptr);
+    for (std::size_t l = 0; l < topo.num_links(); ++l) {
+      EXPECT_LE(fm.link_utilization(static_cast<net::LinkId>(l)),
+                1.0 + 1e-9);
+    }
+  }
+  engine.run();
+}
+
+TEST_P(FlowPropertyTest, MaxMinAllocationIsWorkConserving) {
+  // Pareto efficiency: every flow is limited by a saturated link on its
+  // path or by its TCP cap; otherwise the allocation wasted capacity.
+  Rng rng(GetParam() ^ 0x2222);
+  sim::Engine engine;
+  net::Topology topo;
+  const auto a = topo.add_host("a");
+  const auto b = topo.add_host("b");
+  const auto r1 = topo.add_router("r1");
+  const auto r2 = topo.add_router("r2");
+  topo.add_duplex_link(a, r1, 4e8, 1e-4);
+  topo.add_duplex_link(r1, r2, 1e8, rng.uniform(1e-3, 3e-2));
+  topo.add_duplex_link(r2, b, 4e8, 1e-4);
+  net::FlowOptions options;
+  options.tcp_window_bytes = rng.uniform(5e5, 5e6);
+  net::FlowManager fm(engine, topo, options);
+  std::vector<net::FlowId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(fm.start(a, b, 1e10, nullptr));
+  }
+  const SimTime rtt = fm.base_rtt(a, b);
+  const Rate cap = options.tcp_window_bytes / rtt;
+  double total_rate = 0.0;
+  for (const auto id : ids) total_rate += fm.info(id).rate;
+  // Either the bottleneck link is saturated or everyone runs at cap.
+  const bool link_saturated = total_rate >= 1e8 * (1.0 - 1e-6);
+  bool all_capped = true;
+  for (const auto id : ids) {
+    if (fm.info(id).rate < cap * (1.0 - 1e-6)) all_capped = false;
+  }
+  EXPECT_TRUE(link_saturated || all_capped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ======================================================= cpu invariants ====
+
+class CpuPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuPropertyTest, WorkIsConserved) {
+  // Completion times must satisfy: integral of delivered rate == requested
+  // work. We check a weaker corollary that is exact under processor
+  // sharing: total work / cores <= makespan <= total work / min_rate.
+  Rng rng(GetParam());
+  sim::Engine engine;
+  const double cores = rng.uniform(1.0, 8.0);
+  cluster::CpuPool pool(engine, cores);
+  double total_work = 0.0;
+  int remaining = 0;
+  for (int i = 0; i < 12; ++i) {
+    const double work = rng.uniform(0.1, 5.0);
+    total_work += work;
+    ++remaining;
+    pool.run(rng.uniform(0.5, 2.0), work, [&remaining] { --remaining; });
+  }
+  engine.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_GE(engine.now() + 1e-9, total_work / cores);
+}
+
+TEST_P(CpuPropertyTest, OrderIndependentOfCallbacks) {
+  // Same workload, different callback bodies: identical completion time.
+  Rng rng(GetParam() ^ 0xABCD);
+  std::vector<std::pair<double, double>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.emplace_back(rng.uniform(0.5, 2.0), rng.uniform(0.1, 4.0));
+  }
+  auto run = [&](bool with_noise_callbacks) {
+    sim::Engine engine;
+    cluster::CpuPool pool(engine, 3.0);
+    int noise = 0;
+    for (const auto& [demand, work] : tasks) {
+      pool.run(demand, work,
+               with_noise_callbacks ? std::function<void()>([&] { ++noise; })
+                                    : std::function<void()>(nullptr));
+    }
+    engine.run();
+    return engine.now();
+  };
+  EXPECT_DOUBLE_EQ(run(false), run(true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuPropertyTest,
+                         ::testing::Values(7, 11, 19, 23, 31));
+
+// ================================================== model sanity sweeps ====
+
+class ModelPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(ModelPropertyTest, PredictionsBoundedByTrainingRange) {
+  // Tree ensembles cannot extrapolate beyond observed targets; the linear
+  // model can, so it is checked with a wide multiple instead.
+  const auto& [name, seed] = GetParam();
+  Rng rng(seed);
+  ml::Dataset data;
+  for (int i = 0; i < 300; ++i) {
+    const double x0 = rng.uniform(-2, 2);
+    const double x1 = rng.uniform(-2, 2);
+    data.add_row(std::vector<double>{x0, x1},
+                 10.0 + 3.0 * x0 - x1 + 0.1 * rng.normal());
+  }
+  const auto model = ml::create_regressor(name);
+  model->fit(data);
+  const double y_min = *std::min_element(data.y().begin(), data.y().end());
+  const double y_max = *std::max_element(data.y().begin(), data.y().end());
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x{rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const double pred = model->predict_row(x);
+    if (name == "linear") {
+      EXPECT_GT(pred, y_min - 3.0 * (y_max - y_min));
+      EXPECT_LT(pred, y_max + 3.0 * (y_max - y_min));
+    } else if (name == "xgboost") {
+      // Boosted sums can overshoot the target range slightly (residual
+      // stacking), but never by much for squared loss.
+      EXPECT_GE(pred, y_min - 0.2 * (y_max - y_min));
+      EXPECT_LE(pred, y_max + 0.2 * (y_max - y_min));
+    } else {
+      // A single tree / bagged trees predict leaf means: strictly bounded.
+      EXPECT_GE(pred, y_min - 1e-6);
+      EXPECT_LE(pred, y_max + 1e-6);
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, SerializationPreservesAllPredictions) {
+  const auto& [name, seed] = GetParam();
+  Rng rng(seed ^ 0x9999);
+  ml::Dataset data;
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.uniform(0, 1);
+    const double x1 = rng.uniform(0, 1);
+    data.add_row(std::vector<double>{x0, x1}, x0 * x1 + rng.normal() * 0.01);
+  }
+  const auto model = ml::create_regressor(name);
+  model->fit(data);
+  const auto restored =
+      ml::model_from_json(Json::parse(ml::model_to_json(*model).dump()));
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(restored->predict_row(data.row(i)),
+                     model->predict_row(data.row(i)))
+        << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ModelPropertyTest,
+    ::testing::Combine(::testing::Values("linear", "decision_tree",
+                                         "random_forest", "xgboost"),
+                       ::testing::Values(1u, 42u)));
+
+// =========================================== environment reproducibility ====
+
+class EnvPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnvPropertyTest, WorldIsPureFunctionOfSeed) {
+  const std::uint64_t seed = GetParam();
+  auto fingerprint = [&] {
+    exp::SimEnv env(seed);
+    env.warmup();
+    const auto snap = env.snapshot();
+    double acc = 0.0;
+    for (const auto& n : snap.nodes) {
+      acc += n.rtt_mean * 1e6 + n.tx_rate + n.rx_rate + n.cpu_load * 1e3 +
+             n.mem_available * 1e-6;
+    }
+    return acc;
+  };
+  EXPECT_DOUBLE_EQ(fingerprint(), fingerprint());
+}
+
+TEST_P(EnvPropertyTest, CounterfactualDurationsAreStrictlyReproducible) {
+  const std::uint64_t seed = GetParam();
+  spark::JobConfig job;
+  job.input_records = 300000;
+  job.executors = 3;
+  auto run_on = [&](std::size_t node) {
+    exp::SimEnv env(seed);
+    env.warmup();
+    return env.run_job(job, node, seed ^ 0xF00).duration();
+  };
+  for (const std::size_t node : {0u, 3u}) {
+    EXPECT_DOUBLE_EQ(run_on(node), run_on(node));
+  }
+}
+
+TEST_P(EnvPropertyTest, JobAlwaysTerminatesAndCleansUp) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  exp::SimEnv env(seed);
+  env.warmup();
+  const auto matrix = exp::paper_scenario_matrix();
+  const auto& scenario = exp::sample_scenario(matrix, rng);
+  const auto node = static_cast<std::size_t>(rng.uniform_int(0, 5));
+  const auto result = env.run_job(scenario.config, node, seed);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.duration(), 1.0);
+  EXPECT_LT(result.duration(), 600.0);
+  for (std::size_t n = 0; n < 6; ++n) {
+    const auto& cpu = env.cluster().node(n).cpu();
+    // Only daemons and background pods may remain.
+    EXPECT_LT(cpu.total_demand(), 6.0) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ====================================================== ranking physics ====
+
+class PlacementPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PlacementPropertyTest, AddingLoadToWinnerNeverHelpsIt) {
+  // Monotonicity: take the fastest node, saturate it with extra CPU +
+  // traffic, and its counterfactual duration must not improve.
+  const std::uint64_t seed = GetParam();
+  spark::JobConfig job;
+  job.input_records = 500000;
+  job.executors = 3;
+  auto duration_on = [&](std::size_t node, bool loaded) {
+    exp::SimEnv env(seed);
+    if (loaded) {
+      env.cluster().node(node).cpu().add_persistent(5.0);
+      cluster::BackgroundLoadOptions heavy;
+      heavy.parallel_fetches = 8;
+      heavy.mean_pause = 0.05;
+      // Leaked into the env's lifetime via static storage is unnecessary:
+      // run_job drives the engine, so a stack BackgroundLoad works.
+      static thread_local std::unique_ptr<cluster::BackgroundLoad> bg;
+      bg = std::make_unique<cluster::BackgroundLoad>(
+          env.cluster(), node, (node + 3) % 6, heavy, Rng(seed));
+      bg->start();
+      env.warmup();
+      const double d = env.run_job(job, node, seed ^ 0xAA).duration();
+      bg.reset();
+      return d;
+    }
+    env.warmup();
+    return env.run_job(job, node, seed ^ 0xAA).duration();
+  };
+  const std::size_t node = seed % 6;
+  EXPECT_GE(duration_on(node, true), duration_on(node, false) * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace lts

@@ -1,0 +1,274 @@
+// lts — command-line front end for the Learning-to-Schedule library.
+//
+//   lts topology  [--sites N] [--nodes-per-site M]
+//   lts collect   --out FILE [--configs N] [--repeats R] [--seed S]
+//                 [--residual-job]
+//   lts train     --log FILE --out FILE [--model NAME] [--features SET]
+//   lts evaluate  --model-file FILE [--scenarios N] [--seed S]
+//                 [--features SET]
+//   lts schedule  --model-file FILE [--seed S] [--app TYPE]
+//                 [--records N] [--executors E] [--features SET]
+//   lts whatif    [--seed S] [--app TYPE] [--records N] [--executors E]
+//
+// SET is "table1" (paper) or "rich" (§8 extension). All commands are
+// self-contained simulations; no external services are needed.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/trainer.hpp"
+#include "exp/collector.hpp"
+#include "exp/envgen.hpp"
+#include "exp/evaluate.hpp"
+#include "exp/figures.hpp"
+#include "exp/scenario.hpp"
+#include "telemetry/promql.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lts;
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw Error("unexpected argument: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";  // boolean flag
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) throw Error("missing required --" + key);
+    return it->second;
+  }
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool get_flag(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+core::FeatureSet feature_set(const Args& args) {
+  const std::string set = args.get("features", "table1");
+  if (set == "table1") return core::FeatureSet::kTable1;
+  if (set == "rich") return core::FeatureSet::kRich;
+  throw Error("unknown --features (use table1 or rich): " + set);
+}
+
+spark::JobConfig job_from_args(const Args& args) {
+  spark::JobConfig job;
+  job.app = spark::app_type_from_string(args.get("app", "sort"));
+  job.input_records = args.get_int("records", 1000000);
+  job.executors = static_cast<int>(args.get_int("executors", 4));
+  job.record_bytes = 200.0;
+  job.validate();
+  return job;
+}
+
+int cmd_topology(const Args& args) {
+  exp::EnvOptions env_options;
+  const int sites = static_cast<int>(args.get_int("sites", 3));
+  const int per_site = static_cast<int>(args.get_int("nodes-per-site", 2));
+  if (sites != 3 || per_site != 2) {
+    env_options.cluster_spec = exp::scaled_cluster_spec(sites, per_site);
+  }
+  const auto matrix = exp::figure_topology(env_options);
+  std::vector<std::string> header{"site"};
+  for (const auto& s : matrix.sites) header.push_back(s);
+  AsciiTable table(header);
+  for (std::size_t i = 0; i < matrix.sites.size(); ++i) {
+    std::vector<std::string> row{matrix.sites[i]};
+    for (std::size_t j = 0; j < matrix.sites.size(); ++j) {
+      row.push_back(i == j ? "-" : strformat("%.1f", matrix.rtt_ms[i][j]));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render("Inter-site RTT (ms)").c_str());
+  return 0;
+}
+
+int cmd_collect(const Args& args) {
+  const std::string out = args.require("out");
+  auto matrix = exp::paper_scenario_matrix();
+  const auto configs = args.get_int("configs", 60);
+  if (configs < static_cast<long long>(matrix.size())) {
+    matrix.resize(static_cast<std::size_t>(configs));
+  }
+  exp::CollectorOptions options;
+  options.repeats = static_cast<int>(args.get_int("repeats", 10));
+  options.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 12000));
+  options.residual_job = args.get_flag("residual-job");
+  options.progress = [](std::size_t done, std::size_t total) {
+    if (done % 360 == 0 || done == total) {
+      std::fprintf(stderr, "  %zu/%zu samples\n", done, total);
+    }
+  };
+  const CsvTable log = exp::collect_training_data(matrix, options);
+  log.write_file(out);
+  std::printf("wrote %zu samples to %s\n", log.num_rows(), out.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const CsvTable log = CsvTable::read_file(args.require("log"));
+  const std::string out = args.require("out");
+  const std::string model_name = args.get("model", "random_forest");
+  const auto set = feature_set(args);
+  const auto data = core::Trainer::dataset_from_log(log, set);
+  std::unique_ptr<ml::Regressor> model;
+  const auto report = core::Trainer::train_and_evaluate(
+      model_name, data, 0.2, 7, Json(), &model);
+  // Refit on everything before shipping.
+  model = core::Trainer::train(model_name, data);
+  ml::save_model(*model, out);
+  std::printf("trained %s on %zu rows (holdout RMSE %.2fs, R^2 %.3f)\n",
+              model_name.c_str(), data.size(), report.test_rmse,
+              report.test_r2);
+  std::printf("model written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto set = feature_set(args);
+  auto model = std::shared_ptr<const ml::Regressor>(
+      ml::load_model(args.require("model-file")));
+  exp::EvalOptions eval;
+  eval.num_scenarios = static_cast<int>(args.get_int("scenarios", 60));
+  eval.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 770000));
+  std::vector<exp::MethodUnderTest> methods;
+  methods.push_back({model->name(), model, set});
+  const auto result =
+      exp::evaluate_methods(methods, exp::paper_scenario_matrix(), eval);
+  AsciiTable table({"Method", "Top-1", "Top-2", "Regret (s)"});
+  for (const auto& acc : result.accuracy) {
+    table.add_row_numeric(acc.method, {acc.top1, acc.top2, acc.mean_regret},
+                          3);
+  }
+  std::printf("%s", table.render("Node-selection accuracy").c_str());
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const auto set = feature_set(args);
+  auto model = std::shared_ptr<const ml::Regressor>(
+      ml::load_model(args.require("model-file")));
+  const auto job = job_from_args(args);
+  exp::SimEnv env(static_cast<std::uint64_t>(args.get_int("seed", 118)));
+  env.warmup();
+  core::LtsScheduler scheduler(
+      core::TelemetryFetcher(env.tsdb(), env.node_names()), model, set);
+  const auto decision = scheduler.schedule(job, env.engine().now());
+  AsciiTable table({"rank", "node", "predicted duration (s)"});
+  for (std::size_t i = 0; i < decision.ranking.size(); ++i) {
+    table.add_row({std::to_string(i + 1), decision.ranking[i].node,
+                   strformat("%.2f", decision.ranking[i].predicted_duration)});
+  }
+  std::printf("%s\n", table.render("Decision").c_str());
+  std::printf("%s", scheduler.build_manifest(job, "lts-cli-job", decision)
+                        .c_str());
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  // Evaluates a PromQL-mini expression against a warmed environment's
+  // metrics server: lts query --expr 'node_cpu_load' [--seed S] [--at T]
+  exp::SimEnv env(static_cast<std::uint64_t>(args.get_int("seed", 118)));
+  const SimTime at = static_cast<SimTime>(
+      args.get_int("at", static_cast<long long>(env.options().warmup)));
+  env.engine().run_until(at);
+  const auto query = telemetry::parse_promql(args.require("expr"));
+  const auto results = telemetry::eval_promql(query, env.tsdb(), at);
+  if (results.empty()) {
+    std::printf("(no data)\n");
+    return 0;
+  }
+  AsciiTable table({"series", "value"});
+  for (const auto& r : results) {
+    std::string labels;
+    for (const auto& [k, v] : r.labels) {
+      if (!labels.empty()) labels += ",";
+      labels += k + "=" + v;
+    }
+    table.add_row({"{" + labels + "}", strformat("%.6g", r.value)});
+  }
+  std::printf("%s", table.render(query.to_string()).c_str());
+  return 0;
+}
+
+int cmd_whatif(const Args& args) {
+  const auto job = job_from_args(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 118));
+  exp::SimEnv probe(seed);
+  probe.warmup();
+  const auto snap = probe.snapshot();
+  AsciiTable table({"node", "rtt_mean(ms)", "tx(MB/s)", "rx(MB/s)",
+                    "cpu_load", "duration(s)"});
+  for (std::size_t n = 0; n < probe.node_names().size(); ++n) {
+    exp::SimEnv env(seed);
+    env.warmup();
+    const auto result = env.run_job(job, n, seed ^ 0xF00DULL);
+    const auto& t = snap.nodes[n];
+    table.add_row({t.node, strformat("%.1f", t.rtt_mean * 1e3),
+                   strformat("%.1f", t.tx_rate / 1e6),
+                   strformat("%.1f", t.rx_rate / 1e6),
+                   strformat("%.2f", t.cpu_load),
+                   strformat("%.2f", result.duration())});
+  }
+  std::printf("%s", table.render("Counterfactual placements").c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: lts <topology|collect|train|evaluate|schedule|whatif|query> "
+               "[--flags]\n(see the header of tools/lts_cli.cpp)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "topology") return cmd_topology(args);
+    if (command == "collect") return cmd_collect(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "whatif") return cmd_whatif(args);
+    if (command == "query") return cmd_query(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lts %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
