@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deployability.dir/bench_deployability.cpp.o"
+  "CMakeFiles/bench_deployability.dir/bench_deployability.cpp.o.d"
+  "bench_deployability"
+  "bench_deployability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deployability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

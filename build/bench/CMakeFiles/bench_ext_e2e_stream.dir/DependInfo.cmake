@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_e2e_stream.cpp" "bench/CMakeFiles/bench_ext_e2e_stream.dir/bench_ext_e2e_stream.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_e2e_stream.dir/bench_ext_e2e_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/lts_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lts_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/lts_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lts_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lts_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lts_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lts_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/lts_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_risk.dir/bench_ext_risk.cpp.o"
+  "CMakeFiles/bench_ext_risk.dir/bench_ext_risk.cpp.o.d"
+  "bench_ext_risk"
+  "bench_ext_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_microbench.dir/bench_sim_microbench.cpp.o"
+  "CMakeFiles/bench_sim_microbench.dir/bench_sim_microbench.cpp.o.d"
+  "bench_sim_microbench"
+  "bench_sim_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sample.dir/bench_table3_sample.cpp.o"
+  "CMakeFiles/bench_table3_sample.dir/bench_table3_sample.cpp.o.d"
+  "bench_table3_sample"
+  "bench_table3_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_analysis.dir/model_analysis.cpp.o"
+  "CMakeFiles/model_analysis.dir/model_analysis.cpp.o.d"
+  "model_analysis"
+  "model_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

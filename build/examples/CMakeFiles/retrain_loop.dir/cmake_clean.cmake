@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrain_loop.dir/retrain_loop.cpp.o"
+  "CMakeFiles/retrain_loop.dir/retrain_loop.cpp.o.d"
+  "retrain_loop"
+  "retrain_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrain_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

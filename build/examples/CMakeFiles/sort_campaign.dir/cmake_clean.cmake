@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_campaign.dir/sort_campaign.cpp.o"
+  "CMakeFiles/sort_campaign.dir/sort_campaign.cpp.o.d"
+  "sort_campaign"
+  "sort_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_placement.dir/whatif_placement.cpp.o"
+  "CMakeFiles/whatif_placement.dir/whatif_placement.cpp.o.d"
+  "whatif_placement"
+  "whatif_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_cluster.dir/background.cpp.o"
+  "CMakeFiles/lts_cluster.dir/background.cpp.o.d"
+  "CMakeFiles/lts_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/lts_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/lts_cluster.dir/cpu.cpp.o"
+  "CMakeFiles/lts_cluster.dir/cpu.cpp.o.d"
+  "CMakeFiles/lts_cluster.dir/node.cpp.o"
+  "CMakeFiles/lts_cluster.dir/node.cpp.o.d"
+  "liblts_cluster.a"
+  "liblts_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandit.cpp" "src/core/CMakeFiles/lts_core.dir/bandit.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/bandit.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/core/CMakeFiles/lts_core.dir/decision.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/decision.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/lts_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/fetcher.cpp" "src/core/CMakeFiles/lts_core.dir/fetcher.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/fetcher.cpp.o.d"
+  "/root/repo/src/core/job_builder.cpp" "src/core/CMakeFiles/lts_core.dir/job_builder.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/job_builder.cpp.o.d"
+  "/root/repo/src/core/logger.cpp" "src/core/CMakeFiles/lts_core.dir/logger.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/logger.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/lts_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/lts_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/lts_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lts_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/lts_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lts_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lts_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lts_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lts_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/lts_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

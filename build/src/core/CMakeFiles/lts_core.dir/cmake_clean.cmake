@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_core.dir/bandit.cpp.o"
+  "CMakeFiles/lts_core.dir/bandit.cpp.o.d"
+  "CMakeFiles/lts_core.dir/decision.cpp.o"
+  "CMakeFiles/lts_core.dir/decision.cpp.o.d"
+  "CMakeFiles/lts_core.dir/features.cpp.o"
+  "CMakeFiles/lts_core.dir/features.cpp.o.d"
+  "CMakeFiles/lts_core.dir/fetcher.cpp.o"
+  "CMakeFiles/lts_core.dir/fetcher.cpp.o.d"
+  "CMakeFiles/lts_core.dir/job_builder.cpp.o"
+  "CMakeFiles/lts_core.dir/job_builder.cpp.o.d"
+  "CMakeFiles/lts_core.dir/logger.cpp.o"
+  "CMakeFiles/lts_core.dir/logger.cpp.o.d"
+  "CMakeFiles/lts_core.dir/scheduler.cpp.o"
+  "CMakeFiles/lts_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/lts_core.dir/trainer.cpp.o"
+  "CMakeFiles/lts_core.dir/trainer.cpp.o.d"
+  "liblts_core.a"
+  "liblts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/collector.cpp" "src/exp/CMakeFiles/lts_exp.dir/collector.cpp.o" "gcc" "src/exp/CMakeFiles/lts_exp.dir/collector.cpp.o.d"
+  "/root/repo/src/exp/envgen.cpp" "src/exp/CMakeFiles/lts_exp.dir/envgen.cpp.o" "gcc" "src/exp/CMakeFiles/lts_exp.dir/envgen.cpp.o.d"
+  "/root/repo/src/exp/evaluate.cpp" "src/exp/CMakeFiles/lts_exp.dir/evaluate.cpp.o" "gcc" "src/exp/CMakeFiles/lts_exp.dir/evaluate.cpp.o.d"
+  "/root/repo/src/exp/figures.cpp" "src/exp/CMakeFiles/lts_exp.dir/figures.cpp.o" "gcc" "src/exp/CMakeFiles/lts_exp.dir/figures.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/exp/CMakeFiles/lts_exp.dir/scenario.cpp.o" "gcc" "src/exp/CMakeFiles/lts_exp.dir/scenario.cpp.o.d"
+  "/root/repo/src/exp/stream.cpp" "src/exp/CMakeFiles/lts_exp.dir/stream.cpp.o" "gcc" "src/exp/CMakeFiles/lts_exp.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lts_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lts_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/lts_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lts_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lts_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/lts_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lts_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

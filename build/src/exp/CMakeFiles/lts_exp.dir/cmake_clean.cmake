@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_exp.dir/collector.cpp.o"
+  "CMakeFiles/lts_exp.dir/collector.cpp.o.d"
+  "CMakeFiles/lts_exp.dir/envgen.cpp.o"
+  "CMakeFiles/lts_exp.dir/envgen.cpp.o.d"
+  "CMakeFiles/lts_exp.dir/evaluate.cpp.o"
+  "CMakeFiles/lts_exp.dir/evaluate.cpp.o.d"
+  "CMakeFiles/lts_exp.dir/figures.cpp.o"
+  "CMakeFiles/lts_exp.dir/figures.cpp.o.d"
+  "CMakeFiles/lts_exp.dir/scenario.cpp.o"
+  "CMakeFiles/lts_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/lts_exp.dir/stream.cpp.o"
+  "CMakeFiles/lts_exp.dir/stream.cpp.o.d"
+  "liblts_exp.a"
+  "liblts_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

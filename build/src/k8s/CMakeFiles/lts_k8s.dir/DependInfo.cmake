@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/k8s/api.cpp" "src/k8s/CMakeFiles/lts_k8s.dir/api.cpp.o" "gcc" "src/k8s/CMakeFiles/lts_k8s.dir/api.cpp.o.d"
+  "/root/repo/src/k8s/manifest.cpp" "src/k8s/CMakeFiles/lts_k8s.dir/manifest.cpp.o" "gcc" "src/k8s/CMakeFiles/lts_k8s.dir/manifest.cpp.o.d"
+  "/root/repo/src/k8s/resources.cpp" "src/k8s/CMakeFiles/lts_k8s.dir/resources.cpp.o" "gcc" "src/k8s/CMakeFiles/lts_k8s.dir/resources.cpp.o.d"
+  "/root/repo/src/k8s/scheduler.cpp" "src/k8s/CMakeFiles/lts_k8s.dir/scheduler.cpp.o" "gcc" "src/k8s/CMakeFiles/lts_k8s.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_k8s.dir/api.cpp.o"
+  "CMakeFiles/lts_k8s.dir/api.cpp.o.d"
+  "CMakeFiles/lts_k8s.dir/manifest.cpp.o"
+  "CMakeFiles/lts_k8s.dir/manifest.cpp.o.d"
+  "CMakeFiles/lts_k8s.dir/resources.cpp.o"
+  "CMakeFiles/lts_k8s.dir/resources.cpp.o.d"
+  "CMakeFiles/lts_k8s.dir/scheduler.cpp.o"
+  "CMakeFiles/lts_k8s.dir/scheduler.cpp.o.d"
+  "liblts_k8s.a"
+  "liblts_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

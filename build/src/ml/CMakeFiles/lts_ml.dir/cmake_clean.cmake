@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_ml.dir/analysis.cpp.o"
+  "CMakeFiles/lts_ml.dir/analysis.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/dataset.cpp.o"
+  "CMakeFiles/lts_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/forest.cpp.o"
+  "CMakeFiles/lts_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/gbt.cpp.o"
+  "CMakeFiles/lts_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/linear.cpp.o"
+  "CMakeFiles/lts_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/matrix.cpp.o"
+  "CMakeFiles/lts_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/metrics.cpp.o"
+  "CMakeFiles/lts_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/model.cpp.o"
+  "CMakeFiles/lts_ml.dir/model.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/preprocess.cpp.o"
+  "CMakeFiles/lts_ml.dir/preprocess.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/tree.cpp.o"
+  "CMakeFiles/lts_ml.dir/tree.cpp.o.d"
+  "CMakeFiles/lts_ml.dir/validate.cpp.o"
+  "CMakeFiles/lts_ml.dir/validate.cpp.o.d"
+  "liblts_ml.a"
+  "liblts_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

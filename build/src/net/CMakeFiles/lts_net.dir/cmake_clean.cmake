@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_net.dir/flow.cpp.o"
+  "CMakeFiles/lts_net.dir/flow.cpp.o.d"
+  "CMakeFiles/lts_net.dir/topology.cpp.o"
+  "CMakeFiles/lts_net.dir/topology.cpp.o.d"
+  "liblts_net.a"
+  "liblts_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_simcore.dir/engine.cpp.o"
+  "CMakeFiles/lts_simcore.dir/engine.cpp.o.d"
+  "liblts_simcore.a"
+  "liblts_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_spark.dir/job.cpp.o"
+  "CMakeFiles/lts_spark.dir/job.cpp.o.d"
+  "CMakeFiles/lts_spark.dir/runtime.cpp.o"
+  "CMakeFiles/lts_spark.dir/runtime.cpp.o.d"
+  "CMakeFiles/lts_spark.dir/workloads.cpp.o"
+  "CMakeFiles/lts_spark.dir/workloads.cpp.o.d"
+  "liblts_spark.a"
+  "liblts_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

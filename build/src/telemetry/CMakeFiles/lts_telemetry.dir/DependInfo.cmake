@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/exporters.cpp" "src/telemetry/CMakeFiles/lts_telemetry.dir/exporters.cpp.o" "gcc" "src/telemetry/CMakeFiles/lts_telemetry.dir/exporters.cpp.o.d"
+  "/root/repo/src/telemetry/promql.cpp" "src/telemetry/CMakeFiles/lts_telemetry.dir/promql.cpp.o" "gcc" "src/telemetry/CMakeFiles/lts_telemetry.dir/promql.cpp.o.d"
+  "/root/repo/src/telemetry/series.cpp" "src/telemetry/CMakeFiles/lts_telemetry.dir/series.cpp.o" "gcc" "src/telemetry/CMakeFiles/lts_telemetry.dir/series.cpp.o.d"
+  "/root/repo/src/telemetry/snapshot.cpp" "src/telemetry/CMakeFiles/lts_telemetry.dir/snapshot.cpp.o" "gcc" "src/telemetry/CMakeFiles/lts_telemetry.dir/snapshot.cpp.o.d"
+  "/root/repo/src/telemetry/tsdb.cpp" "src/telemetry/CMakeFiles/lts_telemetry.dir/tsdb.cpp.o" "gcc" "src/telemetry/CMakeFiles/lts_telemetry.dir/tsdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/lts_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lts_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lts_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

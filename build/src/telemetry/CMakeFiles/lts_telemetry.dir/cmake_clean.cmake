@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_telemetry.dir/exporters.cpp.o"
+  "CMakeFiles/lts_telemetry.dir/exporters.cpp.o.d"
+  "CMakeFiles/lts_telemetry.dir/promql.cpp.o"
+  "CMakeFiles/lts_telemetry.dir/promql.cpp.o.d"
+  "CMakeFiles/lts_telemetry.dir/series.cpp.o"
+  "CMakeFiles/lts_telemetry.dir/series.cpp.o.d"
+  "CMakeFiles/lts_telemetry.dir/snapshot.cpp.o"
+  "CMakeFiles/lts_telemetry.dir/snapshot.cpp.o.d"
+  "CMakeFiles/lts_telemetry.dir/tsdb.cpp.o"
+  "CMakeFiles/lts_telemetry.dir/tsdb.cpp.o.d"
+  "liblts_telemetry.a"
+  "liblts_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_util.dir/csv.cpp.o"
+  "CMakeFiles/lts_util.dir/csv.cpp.o.d"
+  "CMakeFiles/lts_util.dir/json.cpp.o"
+  "CMakeFiles/lts_util.dir/json.cpp.o.d"
+  "CMakeFiles/lts_util.dir/logging.cpp.o"
+  "CMakeFiles/lts_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lts_util.dir/stats.cpp.o"
+  "CMakeFiles/lts_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lts_util.dir/string_util.cpp.o"
+  "CMakeFiles/lts_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/lts_util.dir/table.cpp.o"
+  "CMakeFiles/lts_util.dir/table.cpp.o.d"
+  "CMakeFiles/lts_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lts_util.dir/thread_pool.cpp.o.d"
+  "liblts_util.a"
+  "liblts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

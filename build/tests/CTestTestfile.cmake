@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/simcore_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/k8s_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts.dir/lts_cli.cpp.o"
+  "CMakeFiles/lts.dir/lts_cli.cpp.o.d"
+  "lts"
+  "lts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
