@@ -60,11 +60,24 @@ Cluster::Cluster(sim::Engine& engine, const ClusterSpec& spec)
     };
     // One-way propagation is half the configured RTT; access links add their
     // (tiny) share on top.
-    topo_.add_duplex_link(find_router(wan.site_a), find_router(wan.site_b),
-                          wan.capacity_bps, wan.rtt / 2.0);
+    const net::LinkId forward = topo_.add_duplex_link(
+        find_router(wan.site_a), find_router(wan.site_b), wan.capacity_bps,
+        wan.rtt / 2.0);
+    wan_links_.push_back(WanLink{wan.site_a, wan.site_b, forward});
   }
+  node_down_.assign(nodes_.size(), 0);
   flows_ = std::make_unique<net::FlowManager>(engine_, topo_,
                                               spec.flow_options);
+}
+
+void Cluster::set_node_down(std::size_t node, bool down) {
+  LTS_REQUIRE(node < node_down_.size(), "Cluster: node index");
+  node_down_[node] = down ? 1 : 0;
+}
+
+bool Cluster::node_down(std::size_t node) const {
+  LTS_REQUIRE(node < node_down_.size(), "Cluster: node index");
+  return node_down_[node] != 0;
 }
 
 Node& Cluster::node(std::size_t i) {

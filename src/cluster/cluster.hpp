@@ -93,6 +93,23 @@ class Cluster {
   net::LinkId node_uplink(std::size_t node) const;
   net::LinkId node_downlink(std::size_t node) const;
 
+  /// A WAN edge as built from the spec, with the forward link id (the
+  /// reverse direction is forward + 1). Exposed for the fault injector,
+  /// which degrades/partitions WAN links by site pair.
+  struct WanLink {
+    std::string site_a;
+    std::string site_b;
+    net::LinkId forward = -1;
+  };
+  const std::vector<WanLink>& wan_links() const { return wan_links_; }
+
+  /// Liveness flag maintained by the fault injector. A down node stops
+  /// answering pings and exporting telemetry (the exporters check this);
+  /// its CPU/memory state is left untouched — work stalls rather than
+  /// vanishes, like a hung host. All nodes start up.
+  void set_node_down(std::size_t node, bool down);
+  bool node_down(std::size_t node) const;
+
  private:
   sim::Engine& engine_;
   net::Topology topo_;
@@ -101,6 +118,8 @@ class Cluster {
   std::vector<net::LinkId> node_uplinks_;
   std::vector<std::string> site_names_;
   std::vector<net::VertexId> site_routers_;
+  std::vector<WanLink> wan_links_;
+  std::vector<char> node_down_;
 };
 
 }  // namespace lts::cluster

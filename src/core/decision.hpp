@@ -18,6 +18,12 @@ struct Decision {
   /// Ascending by predicted duration (ties broken by node name so the
   /// decision is deterministic).
   std::vector<NodePrediction> ranking;
+  /// True if the fallback ranking produced this decision (model unusable or
+  /// too little fresh telemetry); the "scores" are then spreading heuristic
+  /// values, not predicted durations.
+  bool used_fallback = false;
+  /// Nodes pushed to the bottom of a model ranking for stale telemetry.
+  int stale_demoted = 0;
 
   const std::string& selected() const;
   /// True if `node` is among the first k entries.

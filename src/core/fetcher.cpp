@@ -4,13 +4,24 @@ namespace lts::core {
 
 TelemetryFetcher::TelemetryFetcher(const telemetry::Tsdb& tsdb,
                                    std::vector<std::string> node_names,
-                                   telemetry::SnapshotOptions options)
-    : tsdb_(tsdb), node_names_(std::move(node_names)), options_(options) {
+                                   telemetry::SnapshotOptions options,
+                                   DegradationOptions degradation)
+    : tsdb_(tsdb),
+      node_names_(std::move(node_names)),
+      options_(options),
+      degradation_(degradation) {
   LTS_REQUIRE(!node_names_.empty(), "TelemetryFetcher: no nodes");
+  LTS_REQUIRE(degradation_.max_staleness > 0.0,
+              "TelemetryFetcher: max_staleness must be positive");
 }
 
 telemetry::ClusterSnapshot TelemetryFetcher::fetch(SimTime now) const {
-  return telemetry::build_snapshot(tsdb_, node_names_, now, options_);
+  auto snapshot = telemetry::build_snapshot(tsdb_, node_names_, now, options_);
+  if (degradation_.enabled) {
+    telemetry::annotate_staleness(snapshot, degradation_.max_staleness);
+    if (degradation_.impute) telemetry::impute_stale_nodes(snapshot);
+  }
+  return snapshot;
 }
 
 }  // namespace lts::core

@@ -10,21 +10,39 @@
 
 namespace lts::core {
 
+/// Degradation policy (fault tolerance): how the fetcher treats nodes whose
+/// exporters stopped reporting. Off by default — the paper's pipeline
+/// assumes healthy telemetry, and with `enabled = false` fetch() returns
+/// exactly the raw snapshot it always has.
+struct DegradationOptions {
+  bool enabled = false;
+  /// A node is stale if its exporter heartbeat is older than this (seconds)
+  /// at snapshot time, or it never reported. A few scrape intervals.
+  SimTime max_staleness = 10.0;
+  /// Replace stale rows' telemetry with the median of the fresh rows, so a
+  /// silent node scores as "average" instead of as a phantom idle node.
+  bool impute = true;
+};
+
 class TelemetryFetcher {
  public:
   TelemetryFetcher(const telemetry::Tsdb& tsdb,
                    std::vector<std::string> node_names,
-                   telemetry::SnapshotOptions options = {});
+                   telemetry::SnapshotOptions options = {},
+                   DegradationOptions degradation = {});
 
-  /// Snapshot of all candidate nodes as of `now`.
+  /// Snapshot of all candidate nodes as of `now`. With degradation enabled,
+  /// rows are annotated for staleness and (optionally) imputed.
   telemetry::ClusterSnapshot fetch(SimTime now) const;
 
   const std::vector<std::string>& node_names() const { return node_names_; }
+  const DegradationOptions& degradation() const { return degradation_; }
 
  private:
   const telemetry::Tsdb& tsdb_;
   std::vector<std::string> node_names_;
   telemetry::SnapshotOptions options_;
+  DegradationOptions degradation_;
 };
 
 }  // namespace lts::core

@@ -1,17 +1,44 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
+
 namespace lts::core {
+namespace {
+
+/// Added to a stale node's predicted duration to push it below every fresh
+/// node while preserving the relative order among stale nodes. Far larger
+/// than any plausible job duration, far smaller than anything that loses
+/// precision next to it.
+constexpr double kStaleDemotionPenalty = 1e9;
+
+}  // namespace
 
 LtsScheduler::LtsScheduler(TelemetryFetcher fetcher,
                            std::shared_ptr<const ml::Regressor> model,
-                           FeatureSet features, double risk_aversion)
+                           FeatureSet features, double risk_aversion,
+                           FallbackOptions fallback)
     : fetcher_(std::move(fetcher)),
       model_(std::move(model)),
       features_(features),
-      risk_aversion_(risk_aversion) {
+      risk_aversion_(risk_aversion),
+      fallback_(fallback) {
   LTS_REQUIRE(risk_aversion_ >= 0.0, "LtsScheduler: risk_aversion >= 0");
-  LTS_REQUIRE(model_ != nullptr, "LtsScheduler: null model");
-  LTS_REQUIRE(model_->is_fitted(), "LtsScheduler: model must be fitted");
+  LTS_REQUIRE(fallback_.min_fresh_fraction >= 0.0 &&
+                  fallback_.min_fresh_fraction <= 1.0,
+              "LtsScheduler: min_fresh_fraction must be in [0, 1]");
+  if (!fallback_.enabled) {
+    LTS_REQUIRE(model_ != nullptr, "LtsScheduler: null model");
+    LTS_REQUIRE(model_->is_fitted(), "LtsScheduler: model must be fitted");
+  }
+}
+
+const ml::Regressor& LtsScheduler::model() const {
+  LTS_REQUIRE(model_ != nullptr, "LtsScheduler: no model");
+  return *model_;
+}
+
+bool LtsScheduler::has_usable_model() const {
+  return model_ != nullptr && model_->is_fitted();
 }
 
 Decision LtsScheduler::schedule(const spark::JobConfig& config,
@@ -22,6 +49,22 @@ Decision LtsScheduler::schedule(const spark::JobConfig& config,
 Decision LtsScheduler::schedule_from_snapshot(
     const telemetry::ClusterSnapshot& snapshot,
     const spark::JobConfig& config) const {
+  if (fallback_.enabled) {
+    std::size_t fresh = 0;
+    for (const auto& node : snapshot.nodes) {
+      if (!node.stale) ++fresh;
+    }
+    const bool snapshot_trusted =
+        !snapshot.nodes.empty() &&
+        static_cast<double>(fresh) >=
+            fallback_.min_fresh_fraction *
+                static_cast<double>(snapshot.nodes.size());
+    if (!has_usable_model() || !snapshot_trusted) {
+      return fallback_rank(snapshot);
+    }
+  }
+
+  Decision decision;
   std::vector<NodePrediction> predictions;
   predictions.reserve(snapshot.nodes.size());
   for (const auto& node : snapshot.nodes) {
@@ -33,9 +76,40 @@ Decision LtsScheduler::schedule_from_snapshot(
     } else {
       score = model_->predict_row(features);
     }
+    if (fallback_.enabled && fallback_.demote_stale && node.stale) {
+      score += kStaleDemotionPenalty;
+      ++decision.stale_demoted;
+    }
     predictions.push_back(NodePrediction{node.node, score});
   }
-  return DecisionModule::rank(std::move(predictions));
+  const int stale_demoted = decision.stale_demoted;
+  decision = DecisionModule::rank(std::move(predictions));
+  decision.stale_demoted = stale_demoted;
+  return decision;
+}
+
+Decision LtsScheduler::fallback_rank(
+    const telemetry::ClusterSnapshot& snapshot) const {
+  // Spreading heuristic in the spirit of kube's least-allocated scoring,
+  // but over observed telemetry (the fallback still runs outside the
+  // control plane): prefer low CPU load and a high share of the cluster's
+  // best-case available memory. Deterministic — DecisionModule breaks ties
+  // by node name.
+  double max_mem = 0.0;
+  for (const auto& node : snapshot.nodes) {
+    max_mem = std::max(max_mem, node.mem_available);
+  }
+  std::vector<NodePrediction> predictions;
+  predictions.reserve(snapshot.nodes.size());
+  for (const auto& node : snapshot.nodes) {
+    const double mem_frac =
+        max_mem > 0.0 ? node.mem_available / max_mem : 0.0;
+    predictions.push_back(NodePrediction{node.node, node.cpu_load +
+                                                        (1.0 - mem_frac)});
+  }
+  Decision decision = DecisionModule::rank(std::move(predictions));
+  decision.used_fallback = true;
+  return decision;
 }
 
 std::string LtsScheduler::build_manifest(const spark::JobConfig& config,

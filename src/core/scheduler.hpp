@@ -20,6 +20,20 @@
 
 namespace lts::core {
 
+/// Fallback policy (fault tolerance): what the scheduler does when its
+/// model or its telemetry is unusable. Off by default — then the scheduler
+/// requires a fitted model and ranks exactly as the paper describes.
+struct FallbackOptions {
+  bool enabled = false;
+  /// If fewer than this fraction of snapshot rows are fresh, distrust the
+  /// whole snapshot and use the fallback ranking instead of the model.
+  /// Default: at least a third of the cluster must be reporting.
+  double min_fresh_fraction = 0.34;
+  /// In the model path, push stale-telemetry nodes to the bottom of the
+  /// ranking (their features are imputed guesses, not measurements).
+  bool demote_stale = true;
+};
+
 class LtsScheduler {
  public:
   /// `model` must already be fitted (offline training) on feature vectors
@@ -29,10 +43,14 @@ class LtsScheduler {
   /// standard deviations of model uncertainty: a pessimistic policy that
   /// avoids placements the model is unsure about (extension beyond the
   /// paper; 0 reproduces its mean-duration ranking exactly).
+  /// With `fallback.enabled`, `model` may be null or unfitted — every
+  /// decision then uses the fallback ranking (a default-kube-like
+  /// spreading heuristic over whatever telemetry is fresh).
   LtsScheduler(TelemetryFetcher fetcher,
                std::shared_ptr<const ml::Regressor> model,
                FeatureSet features = FeatureSet::kTable1,
-               double risk_aversion = 0.0);
+               double risk_aversion = 0.0,
+               FallbackOptions fallback = {});
 
   /// Full pipeline: fetch telemetry as of `now`, score every candidate
   /// node, return the ranking.
@@ -49,14 +67,22 @@ class LtsScheduler {
                              const Decision& decision) const;
 
   const TelemetryFetcher& fetcher() const { return fetcher_; }
-  const ml::Regressor& model() const { return *model_; }
+  const ml::Regressor& model() const;
+  bool has_usable_model() const;
   FeatureSet feature_set() const { return features_; }
+  const FallbackOptions& fallback() const { return fallback_; }
 
  private:
+  /// Default-kube-like spreading ranking over raw telemetry: prefer nodes
+  /// with low CPU load and plenty of free memory. Used when the model or
+  /// the snapshot cannot be trusted.
+  Decision fallback_rank(const telemetry::ClusterSnapshot& snapshot) const;
+
   TelemetryFetcher fetcher_;
   std::shared_ptr<const ml::Regressor> model_;
   FeatureSet features_;
   double risk_aversion_;
+  FallbackOptions fallback_;
 };
 
 }  // namespace lts::core

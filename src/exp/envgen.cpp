@@ -67,6 +67,9 @@ SimEnv::SimEnv(std::uint64_t seed, EnvOptions options)
   }
   kube_scheduler_ =
       std::make_unique<k8s::DefaultScheduler>(api_, seed_ ^ 0xcafef00dULL);
+  faults_ = std::make_unique<fault::FaultInjector>(engine_, *cluster_,
+                                                   stack_.get(), &api_);
+  faults_->apply_all(options_.faults);
 
   // Resident system daemons (kubelet, exporters, OS services): a small
   // persistent CPU demand per node, visible in the load average.

@@ -17,6 +17,7 @@
 #include "cluster/background.hpp"
 #include "cluster/cluster.hpp"
 #include "core/job_builder.hpp"
+#include "fault/fault.hpp"
 #include "k8s/api.hpp"
 #include "k8s/scheduler.hpp"
 #include "simcore/engine.hpp"
@@ -60,6 +61,11 @@ struct EnvOptions {
   /// Abort guard: a job exceeding this much simulated time is a bug.
   SimTime max_job_duration = 1800.0;
 
+  /// Fault schedule, applied through the environment's FaultInjector at
+  /// construction. Empty (the default) leaves the event sequence — and so
+  /// every output — exactly as without fault support.
+  std::vector<fault::FaultSpec> faults;
+
   spark::RuntimeOptions runtime;
   spark::WorkloadCost workload_cost;
 };
@@ -83,6 +89,7 @@ class SimEnv {
   const telemetry::Tsdb& tsdb() const { return stack_->tsdb(); }
   k8s::ApiServer& api() { return api_; }
   k8s::DefaultScheduler& kube_scheduler() { return *kube_scheduler_; }
+  fault::FaultInjector& fault_injector() { return *faults_; }
   const std::vector<std::string>& node_names() const { return node_names_; }
   const EnvOptions& options() const { return options_; }
   std::uint64_t seed() const { return seed_; }
@@ -117,6 +124,7 @@ class SimEnv {
   std::unique_ptr<telemetry::TelemetryStack> stack_;
   k8s::ApiServer api_;
   std::unique_ptr<k8s::DefaultScheduler> kube_scheduler_;
+  std::unique_ptr<fault::FaultInjector> faults_;
   std::vector<std::string> node_names_;
   std::vector<std::unique_ptr<cluster::BackgroundLoad>> background_;
   bool warmed_up_ = false;

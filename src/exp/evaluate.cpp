@@ -61,7 +61,8 @@ EvalResult evaluate_methods(const std::vector<MethodUnderTest>& models,
   std::vector<std::string> method_order = {"kube_default", "random"};
   for (const auto& h : options.heuristics) method_order.push_back(h);
   for (const auto& entry : models) {
-    LTS_REQUIRE(entry.model != nullptr && entry.model->is_fitted(),
+    LTS_REQUIRE(entry.fallback.enabled ||
+                    (entry.model != nullptr && entry.model->is_fitted()),
                 "evaluate_methods: model '" + entry.name + "' not fitted");
     method_order.push_back(entry.name);
   }
@@ -119,13 +120,24 @@ EvalResult evaluate_methods(const std::vector<MethodUnderTest>& models,
       }
 
       // Supervised models: the paper's prediction-and-ranking pipeline.
+      // Every method ranks from the same raw snapshot; degradation-enabled
+      // methods see it through their staleness annotation/imputation first.
       for (const auto& entry : models) {
         core::LtsScheduler scheduler(
             core::TelemetryFetcher(env.tsdb(), env.node_names(),
-                                   options.env.snapshot),
-            entry.model, entry.features, entry.risk_aversion);
+                                   options.env.snapshot, entry.degradation),
+            entry.model, entry.features, entry.risk_aversion,
+            entry.fallback);
+        auto method_snapshot = snapshot;
+        if (entry.degradation.enabled) {
+          telemetry::annotate_staleness(method_snapshot,
+                                        entry.degradation.max_staleness);
+          if (entry.degradation.impute) {
+            telemetry::impute_stale_nodes(method_snapshot);
+          }
+        }
         const auto decision =
-            scheduler.schedule_from_snapshot(snapshot, scenario.config);
+            scheduler.schedule_from_snapshot(method_snapshot, scenario.config);
         std::vector<std::size_t> ranked;
         ranked.reserve(decision.ranking.size());
         for (const auto& p : decision.ranking) {

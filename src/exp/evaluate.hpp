@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/features.hpp"
+#include "core/scheduler.hpp"
 #include "exp/envgen.hpp"
 #include "exp/scenario.hpp"
 #include "ml/model.hpp"
@@ -28,11 +29,27 @@ namespace lts::exp {
 /// layout it was trained on (Table 1 by default; kRich for the §8
 /// extension).
 struct MethodUnderTest {
+  MethodUnderTest() = default;
+  MethodUnderTest(std::string name_, std::shared_ptr<const ml::Regressor> model_,
+                  core::FeatureSet features_ = core::FeatureSet::kTable1,
+                  double risk_aversion_ = 0.0)
+      : name(std::move(name_)),
+        model(std::move(model_)),
+        features(features_),
+        risk_aversion(risk_aversion_) {}
+
   std::string name;
   std::shared_ptr<const ml::Regressor> model;
   core::FeatureSet features = core::FeatureSet::kTable1;
   /// See LtsScheduler: 0 = the paper's mean-duration ranking.
   double risk_aversion = 0.0;
+  /// Degradation handling (fault tolerance experiments). All methods rank
+  /// from the same raw snapshot; a method with `degradation.enabled` sees
+  /// that snapshot after staleness annotation/imputation, and its scheduler
+  /// applies `fallback`. With `fallback.enabled` the model may be null
+  /// (pure fallback-ranking baseline).
+  core::DegradationOptions degradation;
+  core::FallbackOptions fallback;
 };
 
 struct EvalOptions {

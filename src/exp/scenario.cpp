@@ -80,4 +80,70 @@ const Scenario& sample_scenario(const std::vector<Scenario>& matrix,
   return matrix[idx];
 }
 
+std::vector<fault::FaultSpec> generate_fault_schedule(
+    const cluster::ClusterSpec& spec, std::uint64_t seed,
+    const FaultScheduleOptions& options) {
+  LTS_REQUIRE(options.faults_per_100s >= 0.0,
+              "generate_fault_schedule: negative rate");
+  LTS_REQUIRE(options.horizon > 0.0, "generate_fault_schedule: horizon > 0");
+
+  std::vector<std::string> node_names;
+  for (const auto& site : spec.sites) {
+    for (const auto& name : site.node_names) node_names.push_back(name);
+  }
+  LTS_REQUIRE(!node_names.empty(), "generate_fault_schedule: no nodes");
+
+  Rng rng(seed * 0x6a09e667f3bcc909ULL + 0xfa17);
+  auto pick_node = [&] {
+    return node_names[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(node_names.size()) - 1))];
+  };
+  auto pick_link = [&] {
+    const auto& wan = spec.wan_links[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(spec.wan_links.size()) - 1))];
+    return wan.site_a + ":" + wan.site_b;
+  };
+
+  const int count = static_cast<int>(
+      options.faults_per_100s * options.horizon / 100.0 + 0.5);
+  std::vector<fault::FaultSpec> schedule;
+  schedule.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    fault::FaultSpec fault;
+    fault.at = options.start + rng.uniform(0.0, options.horizon);
+    fault.duration = std::max(5.0, rng.exponential(options.mean_duration));
+
+    // Kind mix: mostly link trouble and telemetry trouble, the occasional
+    // partition, and crashes only when the consumer can survive them.
+    const double kind_draw = rng.uniform();
+    if (options.include_partitions && !spec.wan_links.empty() &&
+        kind_draw < 0.08) {
+      fault.kind = fault::FaultKind::kSitePartition;
+      const auto& site = spec.sites[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(spec.sites.size()) - 1))];
+      fault.target = site.name;
+    } else if (options.include_crashes && kind_draw < 0.20) {
+      fault.kind = fault::FaultKind::kNodeCrash;
+      fault.target = pick_node();
+    } else if (!spec.wan_links.empty() && kind_draw < 0.50) {
+      fault.kind = fault::FaultKind::kLinkDegrade;
+      fault.target = pick_link();
+      fault.severity = rng.uniform(0.5, 0.95);  // cut most of the capacity
+    } else if (!spec.wan_links.empty() && kind_draw < 0.70) {
+      fault.kind = fault::FaultKind::kRttSpike;
+      fault.target = pick_link();
+      fault.severity = rng.uniform(0.010, 0.060);  // +10..60 ms one-way
+    } else if (kind_draw < 0.88) {
+      fault.kind = fault::FaultKind::kExporterSilence;
+      fault.target = pick_node();
+    } else {
+      fault.kind = fault::FaultKind::kExporterDelay;
+      fault.target = pick_node();
+      fault.severity = rng.uniform(5.0, 25.0);  // seconds of reporting lag
+    }
+    schedule.push_back(std::move(fault));
+  }
+  return schedule;
+}
+
 }  // namespace lts::exp

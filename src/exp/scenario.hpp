@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
 #include "spark/job.hpp"
 #include "util/rng.hpp"
 
@@ -32,5 +34,35 @@ std::vector<Scenario> extension_scenario_matrix();
 /// Draws one scenario uniformly from the matrix.
 const Scenario& sample_scenario(const std::vector<Scenario>& matrix,
                                 Rng& rng);
+
+/// Knobs for a randomized-but-deterministic fault schedule (the
+/// fault-injection experiments of bench_ext_faults).
+struct FaultScheduleOptions {
+  /// Mean number of faults injected per 100 simulated seconds; the
+  /// escalation knob the bench sweeps.
+  double faults_per_100s = 1.0;
+  /// Faults are injected in [start, start + horizon). `start` should be at
+  /// or after the environment's warmup so schedulers decide under faults,
+  /// not before telemetry exists.
+  SimTime start = 40.0;
+  SimTime horizon = 600.0;
+  /// Fault lifetimes are exponential with this mean, floored at 5 s.
+  SimTime mean_duration = 45.0;
+  /// Node crashes hang any job whose pods they host — fine for a live
+  /// stream (the job just takes forever... bounded by recovery), fatal for
+  /// counterfactual ground-truth replays, which must run each candidate
+  /// placement to completion. Accuracy experiments keep this off.
+  bool include_crashes = false;
+  /// Whole-site partitions: drastic; injected with low probability even
+  /// when the schedule is dense.
+  bool include_partitions = true;
+};
+
+/// Deterministically generates a fault schedule against `spec`'s nodes,
+/// sites and WAN links. Same (spec, seed, options) -> same schedule, so the
+/// identical fault timeline can be replayed under every scheduler policy.
+std::vector<fault::FaultSpec> generate_fault_schedule(
+    const cluster::ClusterSpec& spec, std::uint64_t seed,
+    const FaultScheduleOptions& options = {});
 
 }  // namespace lts::exp

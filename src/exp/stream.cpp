@@ -11,7 +11,7 @@ StreamResult run_job_stream(StreamPolicy policy,
                             const std::vector<Scenario>& matrix,
                             const StreamOptions& options) {
   LTS_REQUIRE(options.num_jobs >= 1, "run_job_stream: num_jobs >= 1");
-  if (policy == StreamPolicy::kModel) {
+  if (policy == StreamPolicy::kModel && !options.fallback.enabled) {
     LTS_REQUIRE(model != nullptr && model->is_fitted(),
                 "run_job_stream: kModel needs a fitted model");
   }
@@ -43,8 +43,8 @@ StreamResult run_job_stream(StreamPolicy policy,
   if (policy == StreamPolicy::kModel) {
     scheduler = std::make_unique<core::LtsScheduler>(
         core::TelemetryFetcher(env.tsdb(), env.node_names(),
-                               options.env.snapshot),
-        model, options.features);
+                               options.env.snapshot, options.degradation),
+        model, options.features, /*risk_aversion=*/0.0, options.fallback);
   }
 
   StreamResult result;
@@ -56,14 +56,19 @@ StreamResult run_job_stream(StreamPolicy policy,
   // pending pods, the job retries a few seconds later.
   constexpr SimTime kRetryDelay = 5.0;
   auto try_place = std::make_shared<std::function<void(std::size_t)>>();
-  *try_place = [&, try_place](std::size_t j) {
+  // The stored lambda must not capture try_place strongly — that's a
+  // shared_ptr cycle (the function would own itself and leak). The local
+  // strong reference above outlives the event loop below, so weak_ptr
+  // locks always succeed while events can still fire.
+  *try_place = [&, weak = std::weak_ptr(try_place)](std::size_t j) {
     const PlannedJob& planned = plan[j];
     const spark::JobConfig& config = planned.scenario->config;
     const std::string job_name =
         strformat("stream-%zu-%.0f", j, env.engine().now());
-    auto retry = [&, try_place, j] {
-      env.engine().schedule_in(kRetryDelay,
-                               [try_place, j] { (*try_place)(j); });
+    auto retry = [&, weak, j] {
+      env.engine().schedule_in(kRetryDelay, [weak, j] {
+        if (const auto fn = weak.lock()) (*fn)(j);
+      });
     };
 
     // Placement decision now, from live state.

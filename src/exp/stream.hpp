@@ -31,6 +31,12 @@ struct StreamOptions {
   std::uint64_t seed = 1;
   EnvOptions env;
   core::FeatureSet features = core::FeatureSet::kTable1;
+  /// Degradation handling for the kModel policy (fault tolerance). Both
+  /// default off: the model scheduler then behaves exactly as before. With
+  /// `fallback.enabled`, kModel additionally accepts a null model (every
+  /// decision falls back to the spreading heuristic).
+  core::DegradationOptions degradation;
+  core::FallbackOptions fallback;
 };
 
 struct StreamJobResult {

@@ -1,0 +1,286 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+namespace lts::fault {
+namespace {
+
+/// Capacity of a "dead" link. Not zero: the max-min solver keeps flows
+/// mathematically alive at a trickle, so transfers crossing a dead link
+/// stall (like TCP retrying into a black hole) instead of vanishing, and
+/// recover when the link does.
+constexpr Rate kDeadLinkRate = 1e-3;
+
+std::pair<std::string, std::string> split_site_pair(const std::string& target) {
+  const auto colon = target.find(':');
+  LTS_REQUIRE(colon != std::string::npos && colon > 0 &&
+                  colon + 1 < target.size(),
+              "fault: link target must be \"siteA:siteB\", got: " + target);
+  return {target.substr(0, colon), target.substr(colon + 1)};
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kLinkDegrade: return "link_degrade";
+    case FaultKind::kRttSpike: return "rtt_spike";
+    case FaultKind::kSitePartition: return "site_partition";
+    case FaultKind::kExporterSilence: return "exporter_silence";
+    case FaultKind::kExporterDelay: return "exporter_delay";
+  }
+  throw Error("fault: unknown FaultKind");
+}
+
+FaultKind fault_kind_from_string(const std::string& s) {
+  if (s == "node_crash") return FaultKind::kNodeCrash;
+  if (s == "link_degrade") return FaultKind::kLinkDegrade;
+  if (s == "rtt_spike") return FaultKind::kRttSpike;
+  if (s == "site_partition") return FaultKind::kSitePartition;
+  if (s == "exporter_silence") return FaultKind::kExporterSilence;
+  if (s == "exporter_delay") return FaultKind::kExporterDelay;
+  throw Error("fault: unknown fault kind: " + s);
+}
+
+Json fault_to_json(const FaultSpec& spec) {
+  JsonObject o;
+  o["kind"] = to_string(spec.kind);
+  o["target"] = spec.target;
+  o["at"] = spec.at;
+  o["duration"] = spec.duration;
+  o["severity"] = spec.severity;
+  return Json(std::move(o));
+}
+
+FaultSpec fault_from_json(const Json& j) {
+  LTS_REQUIRE(j.is_object(), "fault: spec must be a JSON object");
+  FaultSpec spec;
+  spec.kind = fault_kind_from_string(j.at("kind").as_string());
+  spec.target = j.at("target").as_string();
+  if (j.contains("at")) spec.at = j.at("at").as_double();
+  if (j.contains("duration")) spec.duration = j.at("duration").as_double();
+  if (j.contains("severity")) spec.severity = j.at("severity").as_double();
+  return spec;
+}
+
+Json faults_to_json(const std::vector<FaultSpec>& specs) {
+  Json arr = Json::array();
+  for (const auto& spec : specs) arr.push_back(fault_to_json(spec));
+  return arr;
+}
+
+std::vector<FaultSpec> faults_from_json(const Json& j) {
+  LTS_REQUIRE(j.is_array(), "fault: schedule must be a JSON array");
+  std::vector<FaultSpec> specs;
+  specs.reserve(j.size());
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    specs.push_back(fault_from_json(j.at(i)));
+  }
+  return specs;
+}
+
+FaultInjector::FaultInjector(sim::Engine& engine, cluster::Cluster& cluster,
+                             telemetry::TelemetryStack* telemetry,
+                             k8s::ApiServer* api)
+    : engine_(engine), cluster_(cluster), telemetry_(telemetry), api_(api) {}
+
+void FaultInjector::apply(const FaultSpec& spec) {
+  LTS_REQUIRE(spec.at >= engine_.now(), "fault: injection time is in the past");
+  engine_.schedule_at(spec.at, [this, spec] { inject(spec); });
+  if (spec.duration > 0.0) {
+    engine_.schedule_at(spec.at + spec.duration,
+                        [this, spec] { recover(spec); });
+  }
+}
+
+void FaultInjector::apply_all(const std::vector<FaultSpec>& specs) {
+  for (const auto& spec : specs) apply(spec);
+}
+
+void FaultInjector::inject(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kNodeCrash:
+      crash_node(spec.target);
+      break;
+    case FaultKind::kLinkDegrade: {
+      const auto [a, b] = split_site_pair(spec.target);
+      degrade_wan_link(a, b, spec.severity);
+      break;
+    }
+    case FaultKind::kRttSpike: {
+      const auto [a, b] = split_site_pair(spec.target);
+      spike_wan_rtt(a, b, spec.severity);
+      break;
+    }
+    case FaultKind::kSitePartition:
+      partition_site(spec.target);
+      break;
+    case FaultKind::kExporterSilence:
+      silence_exporter(spec.target);
+      break;
+    case FaultKind::kExporterDelay:
+      delay_exporter(spec.target, spec.severity);
+      break;
+  }
+  ++injected_;
+}
+
+void FaultInjector::recover(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kNodeCrash:
+      recover_node(spec.target);
+      break;
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kRttSpike: {
+      const auto [a, b] = split_site_pair(spec.target);
+      restore_wan_link(a, b);
+      break;
+    }
+    case FaultKind::kSitePartition:
+      heal_site(spec.target);
+      break;
+    case FaultKind::kExporterSilence:
+      unsilence_exporter(spec.target);
+      break;
+    case FaultKind::kExporterDelay:
+      undelay_exporter(spec.target);
+      break;
+  }
+  ++recovered_;
+}
+
+void FaultInjector::crash_node(const std::string& node) {
+  const std::size_t idx = cluster_.node_index(node);
+  if (cluster_.node_down(idx)) return;
+  cluster_.set_node_down(idx, true);
+  // The host hangs: both access-link directions collapse to a trickle, so
+  // every transfer touching the node stalls. Exporters stop on their own
+  // (they consult node_down before scraping).
+  cut_link_capacity(cluster_.node_uplink(idx), 0.0);
+  cut_link_capacity(cluster_.node_downlink(idx), 0.0);
+  cluster_.flows().refresh();
+  if (api_ != nullptr) api_->set_node_ready(node, false);
+}
+
+void FaultInjector::recover_node(const std::string& node) {
+  const std::size_t idx = cluster_.node_index(node);
+  if (!cluster_.node_down(idx)) return;
+  cluster_.set_node_down(idx, false);
+  restore_link(cluster_.node_uplink(idx));
+  restore_link(cluster_.node_downlink(idx));
+  cluster_.flows().refresh();
+  if (api_ != nullptr) api_->set_node_ready(node, true);
+}
+
+void FaultInjector::degrade_wan_link(const std::string& site_a,
+                                     const std::string& site_b,
+                                     double capacity_cut_frac) {
+  LTS_REQUIRE(capacity_cut_frac >= 0.0 && capacity_cut_frac <= 1.0,
+              "fault: capacity cut fraction must be in [0, 1]");
+  const net::LinkId fwd = wan_forward_link(site_a, site_b);
+  cut_link_capacity(fwd, 1.0 - capacity_cut_frac);
+  cut_link_capacity(fwd + 1, 1.0 - capacity_cut_frac);
+  cluster_.flows().refresh();
+}
+
+void FaultInjector::spike_wan_rtt(const std::string& site_a,
+                                  const std::string& site_b,
+                                  SimTime extra_one_way_delay) {
+  LTS_REQUIRE(extra_one_way_delay >= 0.0, "fault: negative RTT spike");
+  const net::LinkId fwd = wan_forward_link(site_a, site_b);
+  add_link_delay(fwd, extra_one_way_delay);
+  add_link_delay(fwd + 1, extra_one_way_delay);
+  cluster_.flows().refresh();
+}
+
+void FaultInjector::restore_wan_link(const std::string& site_a,
+                                     const std::string& site_b) {
+  const net::LinkId fwd = wan_forward_link(site_a, site_b);
+  restore_link(fwd);
+  restore_link(fwd + 1);
+  cluster_.flows().refresh();
+}
+
+void FaultInjector::partition_site(const std::string& site) {
+  bool touched = false;
+  for (const auto& wan : cluster_.wan_links()) {
+    if (wan.site_a != site && wan.site_b != site) continue;
+    cut_link_capacity(wan.forward, 0.0);
+    cut_link_capacity(wan.forward + 1, 0.0);
+    touched = true;
+  }
+  LTS_REQUIRE(touched, "fault: no WAN links touch site: " + site);
+  cluster_.flows().refresh();
+}
+
+void FaultInjector::heal_site(const std::string& site) {
+  for (const auto& wan : cluster_.wan_links()) {
+    if (wan.site_a != site && wan.site_b != site) continue;
+    restore_link(wan.forward);
+    restore_link(wan.forward + 1);
+  }
+  cluster_.flows().refresh();
+}
+
+void FaultInjector::silence_exporter(const std::string& node) {
+  exporter_for(node).set_silenced(true);
+}
+
+void FaultInjector::unsilence_exporter(const std::string& node) {
+  exporter_for(node).set_silenced(false);
+}
+
+void FaultInjector::delay_exporter(const std::string& node,
+                                   SimTime report_delay) {
+  exporter_for(node).set_report_delay(report_delay);
+}
+
+void FaultInjector::undelay_exporter(const std::string& node) {
+  exporter_for(node).set_report_delay(0.0);
+}
+
+net::LinkId FaultInjector::wan_forward_link(const std::string& site_a,
+                                            const std::string& site_b) const {
+  for (const auto& wan : cluster_.wan_links()) {
+    if ((wan.site_a == site_a && wan.site_b == site_b) ||
+        (wan.site_a == site_b && wan.site_b == site_a)) {
+      return wan.forward;
+    }
+  }
+  throw Error("fault: no WAN link between " + site_a + " and " + site_b);
+}
+
+telemetry::NodeExporter& FaultInjector::exporter_for(const std::string& node) {
+  LTS_REQUIRE(telemetry_ != nullptr,
+              "fault: exporter faults need a TelemetryStack");
+  // TelemetryStack builds one NodeExporter per cluster node, in node order.
+  return telemetry_->node_exporter(cluster_.node_index(node));
+}
+
+void FaultInjector::cut_link_capacity(net::LinkId l, double keep_frac) {
+  // First touch records the pristine capacity, so repeated or overlapping
+  // cuts never compound and restore always returns to the original.
+  const auto [it, inserted] =
+      saved_links_.try_emplace(l, SavedLink{cluster_.topology().link(l).capacity,
+                                            cluster_.topology().link(l).prop_delay});
+  cluster_.topology().set_link_capacity(
+      l, std::max(kDeadLinkRate, it->second.capacity * keep_frac));
+}
+
+void FaultInjector::add_link_delay(net::LinkId l, SimTime extra) {
+  const auto [it, inserted] =
+      saved_links_.try_emplace(l, SavedLink{cluster_.topology().link(l).capacity,
+                                            cluster_.topology().link(l).prop_delay});
+  cluster_.topology().set_link_prop_delay(l, it->second.prop_delay + extra);
+}
+
+void FaultInjector::restore_link(net::LinkId l) {
+  const auto it = saved_links_.find(l);
+  if (it == saved_links_.end()) return;  // never faulted: nothing to restore
+  cluster_.topology().set_link_capacity(l, it->second.capacity);
+  cluster_.topology().set_link_prop_delay(l, it->second.prop_delay);
+  saved_links_.erase(it);
+}
+
+}  // namespace lts::fault

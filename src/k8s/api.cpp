@@ -60,6 +60,10 @@ int ApiServer::count_pods_with_label(const std::string& node_name,
   return count;
 }
 
+void ApiServer::set_node_ready(const std::string& name, bool ready) {
+  node_mutable(name).ready = ready;
+}
+
 const NodeEntry& ApiServer::node(const std::string& name) const {
   for (const auto& n : nodes_) {
     if (n.name == name) return n;

@@ -18,6 +18,7 @@ struct NodeEntry {
   std::vector<Taint> taints;
   Resources requested;             // sum of bound pods' requests
   std::vector<std::string> pods;   // bound pod names
+  bool ready = true;               // false once the node controller marks it down
 };
 
 class ApiServer {
@@ -41,6 +42,10 @@ class ApiServer {
   int count_pods_with_label(const std::string& node_name,
                             const std::string& label_key,
                             const std::string& label_value) const;
+
+  /// Node-controller readiness: an unready node keeps its bindings but the
+  /// scheduler will not place new pods on it.
+  void set_node_ready(const std::string& name, bool ready);
 
   const std::vector<NodeEntry>& nodes() const { return nodes_; }
   const NodeEntry& node(const std::string& name) const;

@@ -156,6 +156,10 @@ ScheduleResult DefaultScheduler::schedule(const PodSpec& pod) {
   };
   std::vector<Candidate> candidates;
   for (const auto& node : api_.nodes()) {
+    if (!node.ready) {
+      result.rejected.emplace_back(node.name, "node not ready");
+      continue;
+    }
     std::string reason;
     for (const auto& filter : filters_) {
       reason = filter->filter(pod, node);

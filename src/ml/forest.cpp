@@ -63,7 +63,8 @@ void RandomForestRegressor::fit(const Dataset& data) {
 
   // Each tree gets an independent Rng derived from (seed, tree index), so
   // training is deterministic regardless of thread interleaving.
-  ThreadPool::global().parallel_for(n_trees, [&](std::size_t b) {
+  ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+  pool.parallel_for(n_trees, [&](std::size_t b) {
     Rng rng(params_.seed * 0x9e3779b97f4a7c15ULL + b * 2 + 1);
     std::vector<std::size_t> rows;
     rows.reserve(n);

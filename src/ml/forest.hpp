@@ -6,6 +6,10 @@
 
 #include "ml/tree.hpp"
 
+namespace lts {
+class ThreadPool;
+}
+
 namespace lts::ml {
 
 struct ForestParams {
@@ -45,8 +49,15 @@ class RandomForestRegressor : public Regressor {
   /// Out-of-bag R^2; NaN unless compute_oob was set at fit time.
   double oob_r2() const { return oob_r2_; }
 
+  /// Trains on `pool` instead of the process-global one (nullptr restores
+  /// the default). Each tree derives its Rng from (seed, tree index), so the
+  /// fitted model is identical for any pool size — the determinism test
+  /// exercises exactly this.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   ForestParams params_;
+  ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
   std::size_t num_features_ = 0;
   double oob_r2_ = std::numeric_limits<double>::quiet_NaN();

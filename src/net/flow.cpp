@@ -51,6 +51,12 @@ void FlowManager::cancel(FlowId id) {
   }
 }
 
+void FlowManager::refresh() {
+  advance();
+  recompute_rates();
+  schedule_next_completion();
+}
+
 FlowInfo FlowManager::info(FlowId id) const {
   const auto it = flows_.find(id);
   LTS_REQUIRE(it != flows_.end(), "FlowManager: unknown flow");
@@ -217,13 +223,24 @@ void FlowManager::recompute_rates() {
     if (froze_capped) continue;
 
     // Otherwise freeze every flow crossing a bottleneck link at the share.
+    // The bottleneck set must come from the state at the start of the round:
+    // freeze() lowers residuals as it goes, and testing links against the
+    // mutated residuals would pull extra links into this round's bottleneck
+    // set, freezing their flows at a share that belongs to a tighter link —
+    // flows with identical paths then end up with different rates, which is
+    // exactly the unfairness max-min forbids.
+    std::vector<char> is_bottleneck(link_count.size(), 0);
+    for (std::size_t li = 0; li < link_count.size(); ++li) {
+      if (link_count[li] > 0 &&
+          residual[li] / static_cast<Rate>(link_count[li]) <=
+              bottleneck_share * (1.0 + 1e-12)) {
+        is_bottleneck[li] = 1;
+      }
+    }
     for (std::size_t i = 0; i < unfrozen.size();) {
       bool on_bottleneck = false;
       for (const LinkId lid : unfrozen[i]->path) {
-        const std::size_t li = static_cast<std::size_t>(lid);
-        if (link_count[li] > 0 &&
-            residual[li] / static_cast<Rate>(link_count[li]) <=
-                bottleneck_share * (1.0 + 1e-12)) {
+        if (is_bottleneck[static_cast<std::size_t>(lid)]) {
           on_bottleneck = true;
           break;
         }

@@ -68,6 +68,13 @@ class FlowManager {
   /// Aborts a flow; its callback never fires. No-op if already finished.
   void cancel(FlowId id);
 
+  /// Re-runs the max-min fair allocation against the topology's *current*
+  /// link capacities and reschedules the pending completion. Must be called
+  /// after mutating link attributes (Topology::set_link_capacity /
+  /// set_link_prop_delay), which the fault injector does mid-run. Byte
+  /// accounting up to now uses the old rates, as physics requires.
+  void refresh();
+
   bool active(FlowId id) const { return flows_.count(id) > 0; }
   FlowInfo info(FlowId id) const;
   std::size_t num_active() const { return flows_.size(); }

@@ -53,6 +53,20 @@ LinkId Topology::add_duplex_link(VertexId u, VertexId v, Rate capacity_bps,
   return forward;
 }
 
+void Topology::set_link_capacity(LinkId l, Rate capacity_bps) {
+  LTS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < links_.size(),
+              "Topology: bad link id");
+  LTS_REQUIRE(capacity_bps > 0.0, "Topology: non-positive capacity");
+  links_[static_cast<std::size_t>(l)].capacity = capacity_bps;
+}
+
+void Topology::set_link_prop_delay(LinkId l, SimTime prop_delay) {
+  LTS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < links_.size(),
+              "Topology: bad link id");
+  LTS_REQUIRE(prop_delay >= 0.0, "Topology: negative delay");
+  links_[static_cast<std::size_t>(l)].prop_delay = prop_delay;
+}
+
 const Vertex& Topology::vertex(VertexId v) const {
   LTS_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < vertices_.size(),
               "Topology: bad vertex id");

@@ -52,6 +52,17 @@ class Topology {
   LinkId add_link(VertexId u, VertexId v, Rate capacity_bps,
                   SimTime prop_delay);
 
+  /// Mutates a link's capacity (fault injection: degraded or partitioned
+  /// links). Deliberately does NOT invalidate routes: real WAN routing is
+  /// static on the timescale of a job, so traffic keeps crossing the
+  /// degraded link instead of rerouting around it. Callers holding a
+  /// FlowManager must call its refresh() afterwards.
+  void set_link_capacity(LinkId l, Rate capacity_bps);
+
+  /// Mutates a link's one-way propagation delay (fault injection: RTT
+  /// spikes). Routes stay fixed, like set_link_capacity.
+  void set_link_prop_delay(LinkId l, SimTime prop_delay);
+
   std::size_t num_vertices() const { return vertices_.size(); }
   std::size_t num_links() const { return links_.size(); }
 

@@ -19,39 +19,74 @@ NodeExporter::NodeExporter(sim::Engine& engine, Tsdb& tsdb,
       engine, options_.scrape_interval, phase, [this] { scrape(); });
 }
 
+void NodeExporter::set_report_delay(SimTime delay) {
+  LTS_REQUIRE(delay >= 0.0, "NodeExporter: negative report delay");
+  report_delay_ = delay;
+}
+
 void NodeExporter::scrape() {
+  // A silenced exporter (fault injection) or one on a crashed node scrapes
+  // nothing; the EMA freezes too, exactly as a dead process's state would.
+  if (silenced_ || cluster_.node_down(node_index_)) return;
+
   const SimTime now = engine_.now();
   auto& node = cluster_.node(node_index_);
   const Labels labels{{"node", node_name_}};
 
+  // Measure everything now; where the samples land (immediately or after
+  // the injected reporting delay) is decided below.
+  std::vector<std::pair<const char*, double>> samples;
   load_ema_.update(now, node.cpu().total_demand());
-  tsdb_.append(kCpuLoadMetric, labels, now, load_ema_.value());
-  tsdb_.append(kMemAvailableMetric, labels, now,
-               std::max(0.0, node.memory_available()));
+  samples.emplace_back(kCpuLoadMetric, load_ema_.value());
+  samples.emplace_back(kMemAvailableMetric,
+                       std::max(0.0, node.memory_available()));
 
   auto noisy_counter = [&](double v) {
     if (options_.counter_noise_frac <= 0.0) return v;
     return v * (1.0 + options_.counter_noise_frac * rng_.normal());
   };
-  tsdb_.append(kTxBytesMetric, labels, now,
-               noisy_counter(cluster_.flows().host_tx_bytes(node.vertex())));
-  tsdb_.append(kRxBytesMetric, labels, now,
-               noisy_counter(cluster_.flows().host_rx_bytes(node.vertex())));
+  samples.emplace_back(
+      kTxBytesMetric,
+      noisy_counter(cluster_.flows().host_tx_bytes(node.vertex())));
+  samples.emplace_back(
+      kRxBytesMetric,
+      noisy_counter(cluster_.flows().host_rx_bytes(node.vertex())));
 
   if (options_.rich_metrics) {
     const auto& flows = cluster_.flows();
     const auto up = cluster_.node_uplink(node_index_);
     const auto down = cluster_.node_downlink(node_index_);
-    tsdb_.append(kUplinkUtilMetric, labels, now, flows.link_utilization(up));
-    tsdb_.append(kDownlinkUtilMetric, labels, now,
-                 flows.link_utilization(down));
-    tsdb_.append(kQueueDelayMetric, labels, now,
-                 std::max(flows.link_queue_delay(up),
-                          flows.link_queue_delay(down)));
-    tsdb_.append(kActiveFlowsMetric, labels, now,
-                 static_cast<double>(
-                     flows.host_active_flows(node.vertex())));
+    samples.emplace_back(kUplinkUtilMetric, flows.link_utilization(up));
+    samples.emplace_back(kDownlinkUtilMetric, flows.link_utilization(down));
+    samples.emplace_back(kQueueDelayMetric,
+                         std::max(flows.link_queue_delay(up),
+                                  flows.link_queue_delay(down)));
+    samples.emplace_back(
+        kActiveFlowsMetric,
+        static_cast<double>(flows.host_active_flows(node.vertex())));
   }
+
+  if (report_delay_ <= 0.0) {
+    for (const auto& [metric, value] : samples) {
+      tsdb_.append(metric, labels, now, value);
+    }
+    return;
+  }
+  // Delayed reporting: the samples keep their measurement timestamp but
+  // become visible only once the event fires, so a snapshot taken in the
+  // gap sees stale data. Safe because samples within one series still
+  // arrive in measurement order (every sample of this exporter is delayed
+  // by the same amount while the fault is active; shrinking the delay can
+  // at worst deliver a newer sample first, so late arrivals with older
+  // timestamps are dropped).
+  engine_.schedule_in(
+      report_delay_, [this, labels, now, samples = std::move(samples)] {
+        for (const auto& [metric, value] : samples) {
+          const auto newest = tsdb_.latest_time(metric, labels);
+          if (newest.has_value() && *newest > now) continue;
+          tsdb_.append(metric, labels, now, value);
+        }
+      });
 }
 
 PingExporter::PingExporter(sim::Engine& engine, Tsdb& tsdb,
@@ -70,8 +105,9 @@ void PingExporter::probe() {
   const SimTime now = engine_.now();
   const std::size_t n = cluster_.num_nodes();
   for (std::size_t i = 0; i < n; ++i) {
+    if (cluster_.node_down(i)) continue;  // dead host answers no echo
     for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
+      if (i == j || cluster_.node_down(j)) continue;
       const SimTime true_rtt = cluster_.flows().current_rtt(
           cluster_.node(i).vertex(), cluster_.node(j).vertex());
       // ICMP echo measurements see scheduler jitter and serialization
@@ -102,6 +138,12 @@ TelemetryStack::TelemetryStack(sim::Engine& engine, cluster::Cluster& cluster,
       engine, tsdb_, cluster, options, rng.split(),
       options.scrape_interval * static_cast<double>(n) /
           static_cast<double>(n + 1));
+}
+
+NodeExporter& TelemetryStack::node_exporter(std::size_t i) {
+  LTS_REQUIRE(i < node_exporters_.size(),
+              "TelemetryStack: node exporter index out of range");
+  return *node_exporters_[i];
 }
 
 }  // namespace lts::telemetry

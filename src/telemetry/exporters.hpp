@@ -59,6 +59,18 @@ class NodeExporter {
 
   const std::string& node_name() const { return node_name_; }
 
+  /// Fault injection: a silenced exporter keeps its scrape schedule but
+  /// appends nothing, so this node's telemetry goes stale in the TSDB.
+  /// A crashed node (Cluster::node_down) silences implicitly.
+  void set_silenced(bool silenced) { silenced_ = silenced; }
+  bool silenced() const { return silenced_; }
+
+  /// Fault injection: samples are measured on schedule but land in the
+  /// TSDB `delay` seconds later (a lagging scrape pipeline). A fetch in the
+  /// gap sees telemetry up to `delay` seconds old.
+  void set_report_delay(SimTime delay);
+  SimTime report_delay() const { return report_delay_; }
+
  private:
   void scrape();
 
@@ -71,6 +83,8 @@ class NodeExporter {
   Ema load_ema_;
   sim::Engine& engine_;
   std::unique_ptr<sim::PeriodicTask> task_;
+  bool silenced_ = false;
+  SimTime report_delay_ = 0.0;
 };
 
 /// Full-mesh RTT prober (one instance covers all ordered node pairs, like a
@@ -100,6 +114,11 @@ class TelemetryStack {
 
   Tsdb& tsdb() { return tsdb_; }
   const Tsdb& tsdb() const { return tsdb_; }
+
+  /// Per-node exporter access, indexed like Cluster nodes (for the fault
+  /// injector's silence/delay primitives).
+  std::size_t num_node_exporters() const { return node_exporters_.size(); }
+  NodeExporter& node_exporter(std::size_t i);
 
  private:
   Tsdb tsdb_;

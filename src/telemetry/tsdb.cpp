@@ -58,6 +58,13 @@ std::optional<double> Tsdb::latest(const std::string& name,
   return s->latest().v;
 }
 
+std::optional<SimTime> Tsdb::latest_time(const std::string& name,
+                                         const Labels& labels) const {
+  const Series* s = find(name, labels);
+  if (s == nullptr || s->empty()) return std::nullopt;
+  return s->latest().t;
+}
+
 double Tsdb::rate(const std::string& name, const Labels& labels, SimTime now,
                   SimTime window) const {
   const Series* s = find(name, labels);

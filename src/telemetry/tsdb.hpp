@@ -43,6 +43,12 @@ class Tsdb {
   std::optional<double> latest(const std::string& name,
                                const Labels& labels) const;
 
+  /// Timestamp of the most recent sample, or nullopt if missing/empty.
+  /// The snapshot builder uses this to measure per-node telemetry
+  /// staleness (silenced or crashed exporters stop appending).
+  std::optional<SimTime> latest_time(const std::string& name,
+                                     const Labels& labels) const;
+
   /// Counter rate: (last - first) / (t_last - t_first) over samples in
   /// [now - window, now]. Prometheus `rate()` for monotone counters.
   /// Returns 0 when fewer than two samples fall in the window.

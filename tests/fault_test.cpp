@@ -1,0 +1,442 @@
+// Fault-injection subsystem: injector primitives, scheduled FaultSpecs,
+// telemetry degradation, and the scheduler's graceful-degradation policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "core/scheduler.hpp"
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+#include "fault/fault.hpp"
+#include "spark/runtime.hpp"
+#include "spark/workloads.hpp"
+#include "telemetry/exporters.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lts;
+
+/// Fitted model that predicts the same duration everywhere: rankings become
+/// pure tie-breaks, which makes demotion and fallback decisions explicit.
+class ConstantModel : public ml::Regressor {
+ public:
+  void fit(const ml::Dataset&) override {}
+  double predict_row(std::span<const double>) const override { return 1.0; }
+  bool is_fitted() const override { return true; }
+  std::string name() const override { return "constant"; }
+  Json to_json() const override { return Json::object(); }
+  void from_json(const Json&) override {}
+};
+
+spark::JobConfig small_job() {
+  spark::JobConfig config;
+  config.app = spark::AppType::kSort;
+  config.input_records = 1000000;
+  config.record_bytes = 200.0;
+  config.executors = 2;
+  config.validate();
+  return config;
+}
+
+TEST(FaultSpecJson, RoundTripsEveryKind) {
+  const std::vector<fault::FaultSpec> schedule = {
+      {fault::FaultKind::kNodeCrash, "node-3", 50.0, 40.0, 1.0},
+      {fault::FaultKind::kLinkDegrade, "ucsd:fiu", 60.0, 30.0, 0.8},
+      {fault::FaultKind::kRttSpike, "sri:fiu", 70.0, 0.0, 0.025},
+      {fault::FaultKind::kSitePartition, "sri", 80.0, 15.0, 1.0},
+      {fault::FaultKind::kExporterSilence, "node-1", 90.0, 20.0, 1.0},
+      {fault::FaultKind::kExporterDelay, "node-2", 100.0, 25.0, 12.0},
+  };
+  const std::string text = fault::faults_to_json(schedule).dump();
+  const auto parsed = fault::faults_from_json(Json::parse(text));
+  ASSERT_EQ(parsed.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, schedule[i].kind);
+    EXPECT_EQ(parsed[i].target, schedule[i].target);
+    EXPECT_DOUBLE_EQ(parsed[i].at, schedule[i].at);
+    EXPECT_DOUBLE_EQ(parsed[i].duration, schedule[i].duration);
+    EXPECT_DOUBLE_EQ(parsed[i].severity, schedule[i].severity);
+  }
+}
+
+TEST(FaultSpecJson, RejectsMalformedSpecs) {
+  EXPECT_THROW(fault::fault_kind_from_string("meteor_strike"), Error);
+  EXPECT_THROW(fault::fault_from_json(Json::parse("[1,2]")), Error);
+  EXPECT_THROW(fault::faults_from_json(Json::parse("{}")), Error);
+}
+
+TEST(FaultSchedule, DeterministicAndRateScaled) {
+  const auto spec = cluster::paper_cluster_spec();
+  exp::FaultScheduleOptions options;
+  options.faults_per_100s = 2.0;
+  const auto a = exp::generate_fault_schedule(spec, 42, options);
+  const auto b = exp::generate_fault_schedule(spec, 42, options);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_DOUBLE_EQ(a[i].at, b[i].at);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+    EXPECT_DOUBLE_EQ(a[i].severity, b[i].severity);
+  }
+  // Higher rate -> proportionally more faults.
+  options.faults_per_100s = 8.0;
+  EXPECT_GT(exp::generate_fault_schedule(spec, 42, options).size(),
+            a.size() * 2);
+  // Crash-free schedules for counterfactual experiments.
+  EXPECT_FALSE(options.include_crashes);
+  for (const auto& fault : exp::generate_fault_schedule(spec, 42, options)) {
+    EXPECT_NE(fault.kind, fault::FaultKind::kNodeCrash);
+    EXPECT_GE(fault.at, options.start);
+    EXPECT_GE(fault.duration, 5.0);
+  }
+}
+
+TEST(FaultInjector, SitePartitionStallsCrossSiteFlowsAndHeals) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::paper_cluster_spec());
+  fault::FaultInjector injector(engine, cluster);
+
+  const auto v_ucsd = cluster.node(0).vertex();   // node-1 @ ucsd
+  const auto v_ucsd2 = cluster.node(1).vertex();  // node-2 @ ucsd
+  const auto v_fiu = cluster.node(2).vertex();    // node-3 @ fiu
+
+  bool cross_done = false;
+  const auto cross = cluster.flows().start(v_ucsd, v_fiu, 1e9,
+                                           [&] { cross_done = true; });
+  engine.run_until(2.0);
+  const double before = cluster.flows().info(cross).transferred;
+  EXPECT_GT(before, 10e6);  // cross-site flow is making real progress
+
+  const SimTime rtt_before = cluster.flows().current_rtt(v_ucsd, v_fiu);
+  injector.partition_site("fiu");
+  // The stalled flow saturates the dead link, so measured RTT inflates by
+  // the queueing model's full penalty in the loaded direction (~30 ms).
+  const SimTime rtt_during = cluster.flows().current_rtt(v_ucsd, v_fiu);
+  EXPECT_GT(rtt_during, rtt_before + 0.025);
+
+  // 100 simulated seconds of partition move only a trickle of bytes.
+  engine.run_until(102.0);
+  EXPECT_FALSE(cross_done);
+  EXPECT_LT(cluster.flows().info(cross).transferred - before, 1e3);
+
+  // Intra-site traffic is unaffected.
+  bool local_done = false;
+  cluster.flows().start(v_ucsd, v_ucsd2, 50e6, [&] { local_done = true; });
+  engine.run_until(110.0);
+  EXPECT_TRUE(local_done);
+
+  injector.heal_site("fiu");
+  engine.run_until(130.0);
+  EXPECT_TRUE(cross_done);
+  EXPECT_EQ(injector.injected(), 0);  // direct primitives bypass the counter
+}
+
+TEST(FaultInjector, WanDegradeAndRttSpikeRestoreExactly) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::paper_cluster_spec());
+  fault::FaultInjector injector(engine, cluster);
+
+  net::LinkId wan = -1;
+  for (const auto& link : cluster.wan_links()) {
+    if ((link.site_a == "ucsd" && link.site_b == "fiu") ||
+        (link.site_a == "fiu" && link.site_b == "ucsd")) {
+      wan = link.forward;
+    }
+  }
+  ASSERT_GE(wan, 0);
+  const Rate cap0 = cluster.topology().link(wan).capacity;
+  const SimTime delay0 = cluster.topology().link(wan).prop_delay;
+
+  injector.degrade_wan_link("ucsd", "fiu", 0.75);
+  EXPECT_NEAR(cluster.topology().link(wan).capacity, cap0 * 0.25, 1.0);
+  // A second, overlapping fault must not compound off the degraded value.
+  injector.spike_wan_rtt("ucsd", "fiu", 0.020);
+  EXPECT_NEAR(cluster.topology().link(wan).prop_delay, delay0 + 0.020, 1e-9);
+  injector.degrade_wan_link("ucsd", "fiu", 0.75);
+  EXPECT_NEAR(cluster.topology().link(wan).capacity, cap0 * 0.25, 1.0);
+
+  injector.restore_wan_link("ucsd", "fiu");
+  EXPECT_DOUBLE_EQ(cluster.topology().link(wan).capacity, cap0);
+  EXPECT_DOUBLE_EQ(cluster.topology().link(wan).prop_delay, delay0);
+  EXPECT_THROW(injector.degrade_wan_link("ucsd", "nowhere", 0.5), Error);
+}
+
+TEST(FaultInjector, CrashStopsTelemetryPingsAndReadiness) {
+  exp::EnvOptions options;
+  options.faults.push_back(
+      {fault::FaultKind::kNodeCrash, "node-3", 50.0, 40.0, 1.0});
+  exp::SimEnv env(21, options);
+  env.warmup();
+  env.engine().run_until(80.0);
+
+  const std::size_t idx = env.cluster().node_index("node-3");
+  EXPECT_TRUE(env.cluster().node_down(idx));
+  EXPECT_FALSE(env.api().node("node-3").ready);
+  EXPECT_EQ(env.fault_injector().injected(), 1);
+  EXPECT_EQ(env.fault_injector().recovered(), 0);
+
+  // The kube scheduler refuses the crashed node outright.
+  const auto kube = env.kube_ranking(small_job());
+  for (const auto& scored : kube.ranking) EXPECT_NE(scored.name, "node-3");
+
+  // Its exporter heartbeat froze at the crash instant...
+  auto snapshot = env.snapshot();
+  const auto& row = snapshot.by_name("node-3");
+  EXPECT_TRUE(row.has_data);
+  EXPECT_LE(row.last_seen, 50.0);
+  EXPECT_EQ(telemetry::annotate_staleness(snapshot, 10.0), 1);
+  EXPECT_TRUE(snapshot.by_name("node-3").stale);
+  // ...and the ping mesh stopped probing it in either direction.
+  EXPECT_LT(env.tsdb()
+                .latest_time(telemetry::kPingRttMetric,
+                             {{"src", "node-1"}, {"dst", "node-3"}})
+                .value_or(0.0),
+            51.0);
+
+  // Recovery at t=90: readiness, scrapes, and pings all resume.
+  env.engine().run_until(120.0);
+  EXPECT_FALSE(env.cluster().node_down(idx));
+  EXPECT_TRUE(env.api().node("node-3").ready);
+  EXPECT_EQ(env.fault_injector().recovered(), 1);
+  auto after = env.snapshot();
+  EXPECT_GT(after.by_name("node-3").last_seen, 90.0);
+  EXPECT_EQ(telemetry::annotate_staleness(after, 10.0), 0);
+  EXPECT_GT(env.tsdb()
+                .latest_time(telemetry::kPingRttMetric,
+                             {{"src", "node-1"}, {"dst", "node-3"}})
+                .value_or(0.0),
+            90.0);
+}
+
+TEST(FaultInjector, NodeCrashMidJobStallsUntilRecovery) {
+  const auto config = small_job();
+  const std::uint64_t seed = 77;
+  const std::uint64_t job_seed = 4242;
+  const std::size_t driver = 0;                   // node-1
+  const std::vector<std::size_t> executors{1, 2};  // node-2, node-3
+
+  auto run_app = [&](exp::SimEnv& env, bool& done) {
+    Rng dag_rng(job_seed * 0x2545f4914f6cdd1dULL + 0x9e37);
+    auto dag = spark::build_dag(config, dag_rng,
+                                env.options().workload_cost);
+    Rng app_rng(job_seed * 0xda942042e4dd58b5ULL + 0x7f4a);
+    auto app = std::make_unique<spark::SparkApp>(
+        env.cluster(), config, std::move(dag), driver, executors, app_rng,
+        env.options().runtime);
+    app->submit([&done](const spark::AppResult&) { done = true; });
+    return app;
+  };
+
+  // Healthy reference run.
+  double healthy_duration = 0.0;
+  {
+    exp::SimEnv env(seed);
+    env.warmup();
+    bool done = false;
+    auto app = run_app(env, done);
+    const SimTime deadline = env.engine().now() + 1200.0;
+    while (!done) {
+      ASSERT_TRUE(env.engine().step());
+      ASSERT_LE(env.engine().now(), deadline);
+    }
+    healthy_duration = app->result().duration();
+    EXPECT_GT(healthy_duration, 8.0);  // long enough to crash mid-flight
+  }
+
+  // Identical run, but an executor node crashes mid-job: the job stalls
+  // far past its healthy completion time, then finishes after recovery.
+  exp::SimEnv env(seed);
+  env.warmup();
+  bool done = false;
+  auto app = run_app(env, done);
+  const SimTime submit = env.engine().now();
+  env.engine().run_until(submit + 5.0);
+  ASSERT_FALSE(done);
+  env.fault_injector().crash_node("node-2");
+
+  env.engine().run_until(submit + healthy_duration + 60.0);
+  EXPECT_FALSE(done) << "job finished despite a crashed executor node";
+
+  env.fault_injector().recover_node("node-2");
+  const SimTime deadline = env.engine().now() + 1800.0;
+  while (!done) {
+    ASSERT_TRUE(env.engine().step());
+    ASSERT_LE(env.engine().now(), deadline);
+  }
+  EXPECT_GT(app->result().duration(), healthy_duration + 50.0);
+}
+
+TEST(Degradation, SilencedExporterRowIsImputedAndDemoted) {
+  exp::EnvOptions options;
+  options.faults.push_back(
+      {fault::FaultKind::kExporterSilence, "node-5", 45.0, 0.0, 1.0});
+  exp::SimEnv env(33, options);
+  env.warmup();
+  env.engine().run_until(75.0);
+
+  core::DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.max_staleness = 10.0;
+  core::TelemetryFetcher fetcher(env.tsdb(), env.node_names(),
+                                 env.options().snapshot, degradation);
+  const auto snapshot = fetcher.fetch(env.engine().now());
+
+  int stale_rows = 0;
+  std::vector<double> fresh_cpu;
+  for (const auto& row : snapshot.nodes) {
+    if (row.stale) {
+      ++stale_rows;
+    } else {
+      fresh_cpu.push_back(row.cpu_load);
+    }
+  }
+  EXPECT_EQ(stale_rows, 1);
+  const auto& stale = snapshot.by_name("node-5");
+  EXPECT_TRUE(stale.stale);
+  EXPECT_TRUE(stale.has_data);
+  // Imputed telemetry sits inside the fresh rows' envelope (it is their
+  // median), not at the frozen pre-silence values or zero.
+  EXPECT_GE(stale.cpu_load, min_of(fresh_cpu));
+  EXPECT_LE(stale.cpu_load, max_of(fresh_cpu));
+  EXPECT_GT(stale.mem_available, 0.0);
+
+  // With a tie-everything model, demotion alone decides: the stale node
+  // ranks last, and the decision records it.
+  core::FallbackOptions fallback;
+  fallback.enabled = true;
+  core::LtsScheduler scheduler(std::move(fetcher),
+                               std::make_shared<ConstantModel>(),
+                               core::FeatureSet::kTable1,
+                               /*risk_aversion=*/0.0, fallback);
+  const auto decision = scheduler.schedule(small_job(), env.engine().now());
+  EXPECT_FALSE(decision.used_fallback);
+  EXPECT_EQ(decision.stale_demoted, 1);
+  ASSERT_EQ(decision.ranking.size(), env.node_names().size());
+  EXPECT_EQ(decision.ranking.back().node, "node-5");
+}
+
+TEST(Degradation, DelayedExporterGoesStaleThenCatchesUp) {
+  exp::EnvOptions options;
+  options.faults.push_back(
+      {fault::FaultKind::kExporterDelay, "node-2", 44.0, 40.0, 15.0});
+  exp::SimEnv env(9, options);
+  env.warmup();
+  env.engine().run_until(60.0);
+
+  // Reports lag 15 s: the freshest sample visible is ~15 s old.
+  auto during = env.snapshot();
+  EXPECT_LT(during.by_name("node-2").last_seen, 47.0);
+  EXPECT_EQ(telemetry::annotate_staleness(during, 10.0), 1);
+
+  // After the fault expires the pipeline drains and freshness recovers.
+  env.engine().run_until(110.0);
+  auto after = env.snapshot();
+  EXPECT_GT(after.by_name("node-2").last_seen, 95.0);
+  EXPECT_EQ(telemetry::annotate_staleness(after, 10.0), 0);
+}
+
+TEST(Fallback, NullModelProducesSpreadingRanking) {
+  exp::SimEnv env(11);
+  env.warmup();
+  core::FallbackOptions fallback;
+  fallback.enabled = true;
+  core::TelemetryFetcher fetcher(env.tsdb(), env.node_names(),
+                                 env.options().snapshot);
+  core::LtsScheduler scheduler(fetcher, /*model=*/nullptr,
+                               core::FeatureSet::kTable1,
+                               /*risk_aversion=*/0.0, fallback);
+  EXPECT_FALSE(scheduler.has_usable_model());
+
+  const auto snapshot = fetcher.fetch(env.engine().now());
+  const auto decision =
+      scheduler.schedule_from_snapshot(snapshot, small_job());
+  EXPECT_TRUE(decision.used_fallback);
+  ASSERT_EQ(decision.ranking.size(), snapshot.nodes.size());
+
+  // Reproduce the spreading score: low load, high share of best-case free
+  // memory first. The decision must equal the independent computation.
+  double max_mem = 0.0;
+  for (const auto& row : snapshot.nodes) {
+    max_mem = std::max(max_mem, row.mem_available);
+  }
+  std::string best;
+  double best_score = 1e300;
+  for (const auto& row : snapshot.nodes) {
+    const double score = row.cpu_load + (1.0 - row.mem_available / max_mem);
+    if (score < best_score || (score == best_score && row.node < best)) {
+      best_score = score;
+      best = row.node;
+    }
+  }
+  EXPECT_EQ(decision.selected(), best);
+
+  // Deterministic: same snapshot, same ranking.
+  const auto again = scheduler.schedule_from_snapshot(snapshot, small_job());
+  ASSERT_EQ(again.ranking.size(), decision.ranking.size());
+  for (std::size_t i = 0; i < again.ranking.size(); ++i) {
+    EXPECT_EQ(again.ranking[i].node, decision.ranking[i].node);
+  }
+}
+
+TEST(Fallback, MostlyStaleSnapshotOverridesUsableModel) {
+  exp::SimEnv env(13);
+  env.warmup();
+  core::DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.max_staleness = 1e-6;  // everything is "stale"
+  core::FallbackOptions fallback;
+  fallback.enabled = true;
+  core::LtsScheduler scheduler(
+      core::TelemetryFetcher(env.tsdb(), env.node_names(),
+                             env.options().snapshot, degradation),
+      std::make_shared<ConstantModel>(), core::FeatureSet::kTable1,
+      /*risk_aversion=*/0.0, fallback);
+  EXPECT_TRUE(scheduler.has_usable_model());
+  const auto decision = scheduler.schedule(small_job(), env.engine().now());
+  EXPECT_TRUE(decision.used_fallback);
+}
+
+TEST(Fallback, DisabledKeepsStrictModelRequirement) {
+  exp::SimEnv env(15);
+  env.warmup();
+  core::TelemetryFetcher fetcher(env.tsdb(), env.node_names());
+  EXPECT_THROW(core::LtsScheduler(fetcher, nullptr), Error);
+}
+
+TEST(FaultEnv, IdenticalScheduleReplaysBitIdentically) {
+  exp::EnvOptions options;
+  exp::FaultScheduleOptions fault_options;
+  fault_options.faults_per_100s = 4.0;
+  fault_options.horizon = 100.0;
+  options.faults = exp::generate_fault_schedule(options.cluster_spec, 7,
+                                                fault_options);
+  ASSERT_FALSE(options.faults.empty());
+
+  auto fingerprint = [&](exp::SimEnv& env) {
+    env.warmup();
+    env.engine().run_until(150.0);
+    return env.snapshot();
+  };
+  exp::SimEnv a(5, options), b(5, options);
+  const auto snap_a = fingerprint(a);
+  const auto snap_b = fingerprint(b);
+  ASSERT_EQ(snap_a.nodes.size(), snap_b.nodes.size());
+  for (std::size_t i = 0; i < snap_a.nodes.size(); ++i) {
+    EXPECT_EQ(snap_a.nodes[i].node, snap_b.nodes[i].node);
+    EXPECT_DOUBLE_EQ(snap_a.nodes[i].rtt_mean, snap_b.nodes[i].rtt_mean);
+    EXPECT_DOUBLE_EQ(snap_a.nodes[i].tx_rate, snap_b.nodes[i].tx_rate);
+    EXPECT_DOUBLE_EQ(snap_a.nodes[i].rx_rate, snap_b.nodes[i].rx_rate);
+    EXPECT_DOUBLE_EQ(snap_a.nodes[i].cpu_load, snap_b.nodes[i].cpu_load);
+    EXPECT_DOUBLE_EQ(snap_a.nodes[i].mem_available,
+                     snap_b.nodes[i].mem_available);
+    EXPECT_DOUBLE_EQ(snap_a.nodes[i].last_seen, snap_b.nodes[i].last_seen);
+  }
+  EXPECT_EQ(a.fault_injector().injected(), b.fault_injector().injected());
+  EXPECT_EQ(a.fault_injector().recovered(), b.fault_injector().recovered());
+}
+
+}  // namespace

@@ -125,6 +125,180 @@ TEST_P(FlowPropertyTest, MaxMinAllocationIsWorkConserving) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// ============================ max-min fairness on random topologies ========
+
+// Random multi-site topology: 2-4 site routers in a full WAN mesh, each with
+// 1-3 hosts, all capacities and delays drawn at random. Capacities stay well
+// above the flow solver's dead-link rate floor so the floor never distorts
+// the allocation invariants below.
+struct RandomTopo {
+  net::Topology topo;
+  std::vector<net::VertexId> hosts;
+};
+
+RandomTopo make_random_topology(Rng& rng) {
+  RandomTopo rt;
+  const int n_sites = static_cast<int>(rng.uniform_int(2, 4));
+  std::vector<net::VertexId> routers;
+  for (int s = 0; s < n_sites; ++s) {
+    routers.push_back(rt.topo.add_router("r" + std::to_string(s)));
+  }
+  for (int i = 0; i < n_sites; ++i) {
+    for (int j = i + 1; j < n_sites; ++j) {
+      rt.topo.add_duplex_link(routers[i], routers[j], rng.uniform(5e7, 6e8),
+                              rng.uniform(1e-3, 5e-2));
+    }
+  }
+  for (int s = 0; s < n_sites; ++s) {
+    const int n_hosts = static_cast<int>(rng.uniform_int(1, 3));
+    for (int h = 0; h < n_hosts; ++h) {
+      rt.hosts.push_back(rt.topo.add_host("h" + std::to_string(s) + "_" +
+                                          std::to_string(h)));
+      rt.topo.add_duplex_link(rt.hosts.back(), routers[s],
+                              rng.uniform(1e8, 1e9),
+                              rng.uniform(5e-5, 5e-4));
+    }
+  }
+  return rt;
+}
+
+// Checks the defining max-min fair allocation invariants against the
+// solver's current rates, reconstructing each flow's path from the
+// topology's deterministic routing:
+//   1. no negative rates;
+//   2. per-link allocated rate never exceeds capacity;
+//   3. every flow has a bottleneck: it runs at its TCP cap, or some link on
+//      its path is saturated AND carries no flow faster than it (increasing
+//      this flow's rate would require decreasing a slower-or-equal one).
+void expect_max_min_fair(const net::FlowManager& fm, const net::Topology& topo,
+                         const std::vector<net::FlowId>& ids,
+                         Bytes tcp_window) {
+  constexpr double kTol = 1e-6;
+  struct ActiveFlow {
+    net::FlowInfo info;
+    const std::vector<net::LinkId>* path;
+  };
+  std::vector<ActiveFlow> flows;
+  std::vector<Rate> link_sum(topo.num_links(), 0.0);
+  std::vector<Rate> link_max(topo.num_links(), 0.0);
+  for (const auto id : ids) {
+    if (!fm.active(id)) continue;
+    ActiveFlow f{fm.info(id), nullptr};
+    EXPECT_GE(f.info.rate, 0.0);
+    f.path = &topo.route(f.info.src, f.info.dst);
+    for (const auto l : *f.path) {
+      link_sum[static_cast<std::size_t>(l)] += f.info.rate;
+      link_max[static_cast<std::size_t>(l)] =
+          std::max(link_max[static_cast<std::size_t>(l)], f.info.rate);
+    }
+    flows.push_back(f);
+  }
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Rate capacity = topo.link(static_cast<net::LinkId>(l)).capacity;
+    EXPECT_LE(link_sum[l], capacity * (1.0 + kTol))
+        << "link " << l << " over capacity";
+  }
+  for (const auto& f : flows) {
+    const Rate cap = tcp_window / fm.base_rtt(f.info.src, f.info.dst);
+    if (f.info.rate >= cap * (1.0 - kTol)) continue;  // TCP-window limited
+    bool has_bottleneck = false;
+    for (const auto l : *f.path) {
+      const auto li = static_cast<std::size_t>(l);
+      const Rate capacity = topo.link(l).capacity;
+      if (link_sum[li] >= capacity * (1.0 - kTol) &&
+          f.info.rate >= link_max[li] * (1.0 - kTol)) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck)
+        << "flow " << f.info.src << "->" << f.info.dst << " at rate "
+        << f.info.rate << " is neither capped nor bottlenecked";
+  }
+}
+
+class MaxMinPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinPropertyTest, RandomTopologyAllocationIsMaxMinFair) {
+  Rng rng(GetParam() ^ 0x3333);
+  sim::Engine engine;
+  RandomTopo rt = make_random_topology(rng);
+  net::FlowOptions options;
+  net::FlowManager fm(engine, rt.topo, options);
+  std::vector<net::FlowId> ids;
+  const int n_flows = static_cast<int>(rng.uniform_int(5, 25));
+  for (int i = 0; i < n_flows; ++i) {
+    const auto src =
+        static_cast<std::size_t>(rng.uniform_int(0, rt.hosts.size() - 1));
+    auto dst =
+        static_cast<std::size_t>(rng.uniform_int(0, rt.hosts.size() - 2));
+    if (dst >= src) ++dst;
+    // Large transfers: no flow finishes while we inspect the allocation.
+    ids.push_back(fm.start(rt.hosts[src], rt.hosts[dst], 1e12, nullptr));
+  }
+  expect_max_min_fair(fm, rt.topo, ids, options.tcp_window_bytes);
+}
+
+TEST_P(MaxMinPropertyTest, InvariantsSurviveCapacityCutsAndRestore) {
+  // The fault injector mutates link capacities mid-run and calls refresh();
+  // the allocation must satisfy the same invariants against the *degraded*
+  // capacities, and byte conservation must hold end-to-end.
+  Rng rng(GetParam() ^ 0x4444);
+  sim::Engine engine;
+  RandomTopo rt = make_random_topology(rng);
+  net::FlowOptions options;
+  net::FlowManager fm(engine, rt.topo, options);
+  std::vector<net::FlowId> ids;
+  double total_requested = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const auto src =
+        static_cast<std::size_t>(rng.uniform_int(0, rt.hosts.size() - 1));
+    auto dst =
+        static_cast<std::size_t>(rng.uniform_int(0, rt.hosts.size() - 2));
+    if (dst >= src) ++dst;
+    const Bytes size = rng.uniform(1e8, 2e9);
+    total_requested += size;
+    ids.push_back(fm.start(rt.hosts[src], rt.hosts[dst], size, nullptr));
+  }
+  engine.run_until(0.5);
+
+  // Degrade a few random links the way the injector does.
+  std::vector<std::pair<net::LinkId, Rate>> saved;
+  const int n_cuts = static_cast<int>(rng.uniform_int(1, 3));
+  for (int c = 0; c < n_cuts; ++c) {
+    const auto l = static_cast<net::LinkId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(rt.topo.num_links()) - 1));
+    const Rate original = rt.topo.link(l).capacity;
+    saved.emplace_back(l, original);
+    rt.topo.set_link_capacity(l, original * rng.uniform(0.2, 0.7));
+  }
+  fm.refresh();
+  expect_max_min_fair(fm, rt.topo, ids, options.tcp_window_bytes);
+
+  engine.run_until(1.5);
+  for (const auto& [l, original] : saved) {
+    rt.topo.set_link_capacity(l, original);
+  }
+  fm.refresh();
+  expect_max_min_fair(fm, rt.topo, ids, options.tcp_window_bytes);
+
+  // With capacities restored every transfer must finish, delivering exactly
+  // the requested bytes (conservation through the degraded interval).
+  engine.run();
+  EXPECT_EQ(fm.num_completed(), ids.size());
+  double total_tx = 0.0, total_rx = 0.0;
+  for (const auto h : rt.hosts) {
+    total_tx += fm.host_tx_bytes(h);
+    total_rx += fm.host_rx_bytes(h);
+  }
+  EXPECT_NEAR(total_tx, total_requested, total_requested * 1e-9);
+  EXPECT_NEAR(total_rx, total_requested, total_requested * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinPropertyTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                           108, 109, 110));
+
 // ======================================================= cpu invariants ====
 
 class CpuPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,0 +1,141 @@
+// Golden end-to-end replay: a fixed-seed scenario's full decision trace and
+// final metrics, compared byte-for-byte against a checked-in golden file.
+//
+// The default configuration (no faults, no degradation policies) must keep
+// producing exactly the same simulated world: same telemetry snapshot after
+// warmup, same default-scheduler ranking, same per-job placements and
+// completion times. Any unintended behavioral drift — an extra Rng draw, a
+// reordered event, a changed constant — shows up here as a one-line diff
+// long before it would be noticed in aggregate experiment statistics.
+//
+// To regenerate after an *intended* behavior change:
+//   LTS_UPDATE_GOLDEN=1 ./replay_test
+// and commit the updated tests/golden/replay_golden.json with the change
+// that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+#include "exp/stream.hpp"
+#include "util/json.hpp"
+
+namespace lts {
+namespace {
+
+constexpr std::uint64_t kSeed = 4242;
+
+std::string golden_path() {
+  return std::string(LTS_SOURCE_DIR) + "/golden/replay_golden.json";
+}
+
+Json snapshot_to_json(const telemetry::ClusterSnapshot& snapshot) {
+  Json j = Json::object();
+  j["at"] = snapshot.at;
+  Json nodes = Json::array();
+  for (const auto& n : snapshot.nodes) {
+    Json row = Json::object();
+    row["node"] = n.node;
+    row["rtt_mean"] = n.rtt_mean;
+    row["rtt_max"] = n.rtt_max;
+    row["rtt_std"] = n.rtt_std;
+    row["tx_rate"] = n.tx_rate;
+    row["rx_rate"] = n.rx_rate;
+    row["cpu_load"] = n.cpu_load;
+    row["mem_available"] = n.mem_available;
+    row["uplink_util"] = n.uplink_util;
+    row["downlink_util"] = n.downlink_util;
+    row["queue_delay"] = n.queue_delay;
+    row["active_flows"] = n.active_flows;
+    row["last_seen"] = n.last_seen;
+    row["has_data"] = n.has_data;
+    nodes.push_back(row);
+  }
+  j["nodes"] = nodes;
+  return j;
+}
+
+Json stream_to_json(const exp::StreamResult& run) {
+  Json j = Json::object();
+  Json jobs = Json::array();
+  for (const auto& job : run.jobs) {
+    Json row = Json::object();
+    row["scenario"] = job.scenario_id;
+    row["driver_node"] = job.driver_node;
+    row["submitted"] = job.submitted;
+    row["duration"] = job.duration;
+    jobs.push_back(row);
+  }
+  j["jobs"] = jobs;
+  j["makespan"] = run.makespan;
+  return j;
+}
+
+/// The replay record: everything below is a pure function of kSeed under the
+/// default configuration.
+Json build_replay_record() {
+  const auto matrix = exp::paper_scenario_matrix();
+  Json record = Json::object();
+  record["seed"] = static_cast<double>(kSeed);
+
+  // World state at warmup time + the default kube scheduler's view of it.
+  {
+    exp::SimEnv env(kSeed, {});
+    env.warmup();
+    record["snapshot"] = snapshot_to_json(env.snapshot());
+    const auto kube = env.kube_ranking(matrix.front().config);
+    Json ranking = Json::array();
+    for (const auto& scored : kube.ranking) ranking.push_back(scored.name);
+    record["kube_ranking"] = ranking;
+  }
+
+  // Two live streams (placement decisions + completion times) under the two
+  // model-free policies; together they exercise engine, network, cluster,
+  // telemetry, kube scheduling, and the Spark runtime end to end.
+  exp::StreamOptions stream;
+  stream.num_jobs = 8;
+  stream.seed = kSeed;
+  record["stream_kube"] = stream_to_json(exp::run_job_stream(
+      exp::StreamPolicy::kKubeDefault, nullptr, matrix, stream));
+  record["stream_random"] = stream_to_json(exp::run_job_stream(
+      exp::StreamPolicy::kRandom, nullptr, matrix, stream));
+  return record;
+}
+
+TEST(GoldenReplay, DefaultConfigMatchesCheckedInTrace) {
+  const std::string actual = build_replay_record().dump(2) + "\n";
+
+  if (std::getenv("LTS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path()
+      << " — run with LTS_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  // Byte-identical, including float formatting (%.17g round-trips exactly).
+  EXPECT_EQ(actual, expected)
+      << "default-config replay diverged from the golden trace; if this "
+         "change in behavior is intended, regenerate with "
+         "LTS_UPDATE_GOLDEN=1 and commit the new golden file";
+}
+
+TEST(GoldenReplay, RecordIsItselfDeterministic) {
+  // Guard against the golden record depending on anything besides the seed
+  // (wall clock, address ordering, global state left by other tests).
+  EXPECT_EQ(build_replay_record().dump(2), build_replay_record().dump(2));
+}
+
+}  // namespace
+}  // namespace lts

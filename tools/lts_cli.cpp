@@ -8,14 +8,21 @@
 //                 [--features SET]
 //   lts schedule  --model-file FILE [--seed S] [--app TYPE]
 //                 [--records N] [--executors E] [--features SET]
+//                 [--faults FILE] [--at T] [--degraded] [--max-staleness S]
 //   lts whatif    [--seed S] [--app TYPE] [--records N] [--executors E]
 //
-// SET is "table1" (paper) or "rich" (§8 extension). All commands are
-// self-contained simulations; no external services are needed.
+// SET is "table1" (paper) or "rich" (§8 extension). --faults FILE injects a
+// JSON fault schedule (array of {kind, target, at, duration, severity}; see
+// src/fault/fault.hpp) into the simulated cluster, and --degraded turns on
+// the scheduler's staleness/fallback policies (and makes --model-file
+// optional: with no model every decision uses the fallback ranking). All
+// commands are self-contained simulations; no external services are needed.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -64,6 +71,10 @@ class Args {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoll(it->second.c_str());
   }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
   bool get_flag(const std::string& key) const {
     return values_.count(key) > 0;
   }
@@ -77,6 +88,16 @@ core::FeatureSet feature_set(const Args& args) {
   if (set == "table1") return core::FeatureSet::kTable1;
   if (set == "rich") return core::FeatureSet::kRich;
   throw Error("unknown --features (use table1 or rich): " + set);
+}
+
+std::vector<fault::FaultSpec> faults_from_args(const Args& args) {
+  const std::string path = args.get("faults", "");
+  if (path.empty()) return {};
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read fault schedule: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return fault::faults_from_json(Json::parse(text.str()));
 }
 
 spark::JobConfig job_from_args(const Args& args) {
@@ -174,13 +195,31 @@ int cmd_evaluate(const Args& args) {
 
 int cmd_schedule(const Args& args) {
   const auto set = feature_set(args);
-  auto model = std::shared_ptr<const ml::Regressor>(
-      ml::load_model(args.require("model-file")));
+  // With --degraded the fallback ranking handles a missing model, so
+  // --model-file becomes optional (useful to inspect the pure fallback).
+  std::shared_ptr<const ml::Regressor> model;
+  if (!args.get_flag("degraded") || !args.get("model-file", "").empty()) {
+    model = ml::load_model(args.require("model-file"));
+  }
   const auto job = job_from_args(args);
-  exp::SimEnv env(static_cast<std::uint64_t>(args.get_int("seed", 118)));
+  exp::EnvOptions env_options;
+  env_options.faults = faults_from_args(args);
+  exp::SimEnv env(static_cast<std::uint64_t>(args.get_int("seed", 118)),
+                  env_options);
   env.warmup();
+  const auto at = static_cast<SimTime>(
+      args.get_double("at", env.options().warmup));
+  env.engine().run_until(at);
+  core::DegradationOptions degradation;
+  core::FallbackOptions fallback;
+  if (args.get_flag("degraded")) {
+    degradation.enabled = true;
+    degradation.max_staleness = args.get_double("max-staleness", 10.0);
+    fallback.enabled = true;
+  }
   core::LtsScheduler scheduler(
-      core::TelemetryFetcher(env.tsdb(), env.node_names()), model, set);
+      core::TelemetryFetcher(env.tsdb(), env.node_names(), {}, degradation),
+      model, set, /*risk_aversion=*/0.0, fallback);
   const auto decision = scheduler.schedule(job, env.engine().now());
   AsciiTable table({"rank", "node", "predicted duration (s)"});
   for (std::size_t i = 0; i < decision.ranking.size(); ++i) {
@@ -188,6 +227,12 @@ int cmd_schedule(const Args& args) {
                    strformat("%.2f", decision.ranking[i].predicted_duration)});
   }
   std::printf("%s\n", table.render("Decision").c_str());
+  if (decision.used_fallback) {
+    std::printf("note: fallback ranking used (model or telemetry unusable)\n");
+  } else if (decision.stale_demoted > 0) {
+    std::printf("note: %d stale node(s) demoted to the bottom of the ranking\n",
+                decision.stale_demoted);
+  }
   std::printf("%s", scheduler.build_manifest(job, "lts-cli-job", decision)
                         .c_str());
   return 0;
