@@ -5,6 +5,7 @@
 #include "exp/envgen.hpp"
 #include "exp/scenario.hpp"
 #include "net/flow.hpp"
+#include "obs/metrics.hpp"
 #include "simcore/engine.hpp"
 #include "telemetry/tsdb.hpp"
 
@@ -86,6 +87,50 @@ void BM_FullJobSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullJobSimulation)->Unit(benchmark::kMillisecond);
+
+// Cost of a permanently-instrumented hot path: disabled, a counter inc is a
+// relaxed load + branch; enabled, it adds an atomic fetch_add. Both must be
+// far below the cost of any simulated event.
+void BM_ObsCounterDisabled(benchmark::State& state) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_enabled(false);
+  auto& counter = registry.counter("bench_disabled_total");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(&counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_enabled(true);
+  auto& counter = registry.counter("bench_enabled_total");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(&counter);
+  }
+  registry.set_enabled(false);  // leave the shared registry as it was found
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
+// The full simulation stack with the registry enabled: the acceptance bar
+// is that this stays within noise of BM_EnvWarmup (instrumentation must
+// not tax the event loop, the flow solver, or TSDB ingestion noticeably).
+void BM_EnvWarmupObserved(benchmark::State& state) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_enabled(true);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::SimEnv env(seed++);
+    env.warmup();
+    benchmark::DoNotOptimize(env.snapshot());
+  }
+  registry.set_enabled(false);
+}
+BENCHMARK(BM_EnvWarmupObserved)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lts::core {
 namespace {
 
@@ -10,6 +13,23 @@ namespace {
 /// than any plausible job duration, far smaller than anything that loses
 /// precision next to it.
 constexpr double kStaleDemotionPenalty = 1e9;
+
+struct SchedulerMetrics {
+  obs::Counter& decisions = obs::counter(
+      "lts_scheduler_decisions_total", {},
+      "Placement decisions produced by LtsScheduler");
+  obs::Counter& fallbacks = obs::counter(
+      "lts_scheduler_fallback_total", {},
+      "Decisions that used the spreading fallback ranking (model or "
+      "snapshot unusable)");
+  obs::Counter& stale_demoted = obs::counter(
+      "lts_scheduler_stale_demoted_total", {},
+      "Stale-telemetry nodes demoted to the bottom of a model ranking");
+  static SchedulerMetrics& get() {
+    static SchedulerMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -43,12 +63,22 @@ bool LtsScheduler::has_usable_model() const {
 
 Decision LtsScheduler::schedule(const spark::JobConfig& config,
                                 SimTime now) const {
-  return schedule_from_snapshot(fetcher_.fetch(now), config);
+  // Joins the caller's per-decision span when one is open (the job-stream
+  // runner appends a "bind" phase after placement); otherwise the schedule
+  // call is the whole span.
+  obs::ScopedSpan span(obs::Tracer::global(), "schedule", now,
+                       /*reuse_open=*/true);
+  auto snapshot = fetcher_.fetch(now);
+  span.phase("fetch", now);
+  return schedule_from_snapshot(snapshot, config);
 }
 
 Decision LtsScheduler::schedule_from_snapshot(
     const telemetry::ClusterSnapshot& snapshot,
     const spark::JobConfig& config) const {
+  obs::Tracer& tracer = obs::Tracer::global();
+  auto& metrics = SchedulerMetrics::get();
+  metrics.decisions.inc();
   if (fallback_.enabled) {
     std::size_t fresh = 0;
     for (const auto& node : snapshot.nodes) {
@@ -60,21 +90,31 @@ Decision LtsScheduler::schedule_from_snapshot(
             fallback_.min_fresh_fraction *
                 static_cast<double>(snapshot.nodes.size());
     if (!has_usable_model() || !snapshot_trusted) {
-      return fallback_rank(snapshot);
+      metrics.fallbacks.inc();
+      Decision decision = fallback_rank(snapshot);
+      tracer.phase("rank", snapshot.at);
+      return decision;
     }
   }
 
   Decision decision;
+  std::vector<std::vector<double>> rows;
+  rows.reserve(snapshot.nodes.size());
+  for (const auto& node : snapshot.nodes) {
+    rows.push_back(FeatureConstructor::build(node, config, features_));
+  }
+  tracer.phase("features", snapshot.at);
+
   std::vector<NodePrediction> predictions;
   predictions.reserve(snapshot.nodes.size());
-  for (const auto& node : snapshot.nodes) {
-    const auto features = FeatureConstructor::build(node, config, features_);
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const auto& node = snapshot.nodes[i];
     double score;
     if (risk_aversion_ > 0.0) {
-      const auto p = model_->predict_with_uncertainty(features);
+      const auto p = model_->predict_with_uncertainty(rows[i]);
       score = p.mean + risk_aversion_ * p.stddev;
     } else {
-      score = model_->predict_row(features);
+      score = model_->predict_row(rows[i]);
     }
     if (fallback_.enabled && fallback_.demote_stale && node.stale) {
       score += kStaleDemotionPenalty;
@@ -82,9 +122,13 @@ Decision LtsScheduler::schedule_from_snapshot(
     }
     predictions.push_back(NodePrediction{node.node, score});
   }
+  tracer.phase("predict", snapshot.at);
+
   const int stale_demoted = decision.stale_demoted;
   decision = DecisionModule::rank(std::move(predictions));
   decision.stale_demoted = stale_demoted;
+  if (stale_demoted > 0) metrics.stale_demoted.inc(stale_demoted);
+  tracer.phase("rank", snapshot.at);
   return decision;
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/scheduler.hpp"
 #include "ml/metrics.hpp"
+#include "obs/metrics.hpp"
 
 namespace lts::exp {
 
@@ -69,7 +70,11 @@ EvalResult evaluate_methods(const std::vector<MethodUnderTest>& models,
   std::map<std::string, int> top1_hits, top2_hits;
   std::map<std::string, double> regret_sum;
 
+  obs::Counter& scenarios_counter = obs::counter(
+      "lts_eval_scenarios_total", {},
+      "Evaluation scenarios completed (counterfactual truth computed)");
   for (int s = 0; s < options.num_scenarios; ++s) {
+    scenarios_counter.inc();
     const std::uint64_t seed =
         options.base_seed + 7919ULL * static_cast<std::uint64_t>(s);
     Rng pick_rng(seed ^ 0xabcdef12ULL);

@@ -1,10 +1,29 @@
 #include "exp/stream.hpp"
 
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spark/runtime.hpp"
 #include "spark/workloads.hpp"
 #include "util/string_util.hpp"
 
 namespace lts::exp {
+
+namespace {
+struct StreamMetrics {
+  obs::Counter& jobs = obs::counter(
+      "lts_stream_jobs_completed_total", {},
+      "Jobs completed by the live job-stream runner");
+  obs::Counter& retries = obs::counter(
+      "lts_stream_placement_retries_total", {},
+      "Placements deferred because the cluster could not fit the job");
+  static StreamMetrics& get() {
+    static StreamMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 StreamResult run_job_stream(StreamPolicy policy,
                             std::shared_ptr<const ml::Regressor> model,
@@ -66,10 +85,19 @@ StreamResult run_job_stream(StreamPolicy policy,
     const std::string job_name =
         strformat("stream-%zu-%.0f", j, env.engine().now());
     auto retry = [&, weak, j] {
+      StreamMetrics::get().retries.inc();
       env.engine().schedule_in(kRetryDelay, [weak, j] {
         if (const auto fn = weak.lock()) (*fn)(j);
       });
     };
+
+    // Per-decision trace span for the model policy: the scheduler joins it
+    // with its fetch/features/predict/rank phases, and "bind" lands below
+    // once the pods are placed.
+    std::optional<obs::ScopedSpan> span;
+    if (policy == StreamPolicy::kModel) {
+      span.emplace(obs::Tracer::global(), "decision", env.engine().now());
+    }
 
     // Placement decision now, from live state.
     std::size_t driver_node = 0;
@@ -118,6 +146,7 @@ StreamResult run_job_stream(StreamPolicy policy,
       bound->push_back(pod.name);
       executor_nodes.push_back(env.cluster().node_index(where.selected()));
     }
+    if (span) span->phase("bind", env.engine().now());
 
     Rng dag_rng(planned.job_seed * 0x2545f4914f6cdd1dULL + 0x9e37);
     auto dag = spark::build_dag(config, dag_rng,
@@ -132,6 +161,7 @@ StreamResult run_job_stream(StreamPolicy policy,
       result.jobs[j].submitted = app_result.submit_time;
       result.jobs[j].duration = app_result.duration();
       for (const auto& pod : *bound) env.api().remove_pod(pod);
+      StreamMetrics::get().jobs.inc();
       --remaining;
     });
   };

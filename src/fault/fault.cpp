@@ -169,6 +169,11 @@ void FaultInjector::recover_node(const std::string& node) {
   cluster_.set_node_down(idx, false);
   restore_link(cluster_.node_uplink(idx));
   restore_link(cluster_.node_downlink(idx));
+  // The host rebooted: its cumulative NIC counters restart from zero, so
+  // the exporter's next scrape publishes a value below the pre-crash one.
+  // Rate queries must treat that as a counter reset (Tsdb::rate does), not
+  // as negative throughput.
+  cluster_.flows().reset_host_counters(cluster_.node(idx).vertex());
   cluster_.flows().refresh();
   if (api_ != nullptr) api_->set_node_ready(node, true);
 }

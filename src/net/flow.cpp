@@ -1,8 +1,11 @@
 #include "net/flow.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+
+#include "obs/metrics.hpp"
 
 namespace lts::net {
 
@@ -10,11 +13,31 @@ namespace {
 // Flows with fewer remaining bytes than this are considered delivered; it is
 // far below one byte so no real transfer is cut short.
 constexpr Bytes kRemainingEpsilon = 1e-6;
+
+struct RecomputeMetrics {
+  obs::Counter& total = obs::counter(
+      "lts_net_rate_recomputes_total", {},
+      "Max-min fair rate recomputations run by FlowManager");
+  obs::Histogram& rounds = obs::histogram(
+      "lts_net_rate_recompute_rounds", {1, 2, 4, 8, 16, 32, 64}, {},
+      "Progressive-filling rounds per rate recomputation");
+  obs::Histogram& duration = obs::histogram(
+      "lts_net_rate_recompute_duration_seconds",
+      {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}, {},
+      "Wall-clock duration of one rate recomputation");
+  static RecomputeMetrics& get() {
+    static RecomputeMetrics m;
+    return m;
+  }
+};
 }  // namespace
 
 FlowManager::FlowManager(sim::Engine& engine, const Topology& topo,
                          FlowOptions options)
-    : engine_(engine), topo_(topo), options_(options) {
+    : engine_(engine),
+      topo_(topo),
+      options_(options),
+      obs_enabled_(obs::MetricsRegistry::global().enabled_flag()) {
   link_alloc_.assign(topo_.num_links(), 0.0);
   host_tx_.assign(topo_.num_vertices(), 0.0);
   host_rx_.assign(topo_.num_vertices(), 0.0);
@@ -120,6 +143,14 @@ Bytes FlowManager::host_rx_bytes(VertexId host) const {
   return total;
 }
 
+void FlowManager::reset_host_counters(VertexId host) {
+  LTS_REQUIRE(host >= 0 && static_cast<std::size_t>(host) < host_tx_.size(),
+              "FlowManager: bad host id");
+  advance();
+  host_tx_[static_cast<std::size_t>(host)] = 0.0;
+  host_rx_[static_cast<std::size_t>(host)] = 0.0;
+}
+
 Rate FlowManager::host_tx_rate(VertexId host) const {
   Rate total = 0.0;
   for (const auto& [id, f] : flows_) {
@@ -161,8 +192,22 @@ void FlowManager::advance() {
 }
 
 void FlowManager::recompute_rates() {
+  // Instrumentation stays out of the solver itself: holding the clock value
+  // and enabled flag live across the progressive fill measurably slows the
+  // unobserved path through extra register spills.
+  if (!obs_enabled_->load(std::memory_order_relaxed)) {
+    recompute_rates_core();
+    return;
+  }
+  const auto wall_begin = std::chrono::steady_clock::now();
+  const std::size_t rounds = recompute_rates_core();
+  record_recompute_metrics(rounds, wall_begin);
+}
+
+std::size_t FlowManager::recompute_rates_core() {
+  std::size_t rounds = 0;
   std::fill(link_alloc_.begin(), link_alloc_.end(), 0.0);
-  if (flows_.empty()) return;
+  if (flows_.empty()) return 0;
 
   std::vector<Flow*> unfrozen;
   unfrozen.reserve(flows_.size());
@@ -192,6 +237,7 @@ void FlowManager::recompute_rates() {
   std::size_t iteration_guard = flows_.size() + 2;
   while (!unfrozen.empty()) {
     LTS_ASSERT(iteration_guard-- > 0);
+    ++rounds;
     std::fill(link_count.begin(), link_count.end(), 0);
     for (const Flow* f : unfrozen) {
       for (const LinkId lid : f->path) {
@@ -260,6 +306,18 @@ void FlowManager::recompute_rates() {
       link_alloc_[static_cast<std::size_t>(lid)] += f.rate;
     }
   }
+  return rounds;
+}
+
+void FlowManager::record_recompute_metrics(
+    std::size_t rounds, std::chrono::steady_clock::time_point wall_begin) {
+  auto& metrics = RecomputeMetrics::get();
+  metrics.total.inc();
+  metrics.rounds.observe(static_cast<double>(rounds));
+  metrics.duration.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count());
 }
 
 void FlowManager::schedule_next_completion() {

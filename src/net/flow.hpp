@@ -14,6 +14,8 @@
 // ping mesh RTTs under load).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -94,10 +96,17 @@ class FlowManager {
   /// Base (uncongested) RTT between two hosts.
   SimTime base_rtt(VertexId a, VertexId b) const;
 
-  /// Cumulative bytes transmitted / received by a host since construction.
-  /// Accurate as of the current engine time.
+  /// Cumulative bytes transmitted / received by a host since construction
+  /// (or since its last counter reset). Accurate as of the current engine
+  /// time.
   Bytes host_tx_bytes(VertexId host) const;
   Bytes host_rx_bytes(VertexId host) const;
+
+  /// Zeroes a host's cumulative NIC counters, as a reboot does to
+  /// /proc/net/dev. The fault injector calls this when a crashed node
+  /// recovers; consumers of the exported counter series must handle the
+  /// resulting reset (Tsdb::rate does).
+  void reset_host_counters(VertexId host);
 
   /// Sum of current send rates of flows originating at / arriving at host.
   Rate host_tx_rate(VertexId host) const;
@@ -126,16 +135,29 @@ class FlowManager {
   void advance();
 
   /// Progressive-filling max-min fair allocation with per-flow caps.
+  /// Dispatches to the core solver, adding instrumentation when the
+  /// observability registry is enabled.
   void recompute_rates();
+
+  /// The solver proper; returns the number of filling rounds it ran.
+  std::size_t recompute_rates_core();
 
   /// (Re)schedules the single pending completion event.
   void schedule_next_completion();
 
   void handle_completion_event();
 
+  /// Outlined so an unobserved recompute pays only a relaxed load and a
+  /// predictable branch for its instrumentation.
+  __attribute__((noinline)) void record_recompute_metrics(
+      std::size_t rounds, std::chrono::steady_clock::time_point wall_begin);
+
   sim::Engine& engine_;
   const Topology& topo_;
   FlowOptions options_;
+  // Cached once at construction (see simcore::Engine): skips the registry's
+  // static-init guard on every recompute.
+  const std::atomic<bool>* obs_enabled_;
 
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;

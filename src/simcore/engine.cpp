@@ -2,7 +2,36 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace lts::sim {
+
+namespace {
+// Aggregated across every Engine instance in the process (environments are
+// rebuilt constantly for counterfactuals; per-instance series would explode
+// the registry).
+struct EngineMetrics {
+  obs::Counter& events = obs::counter(
+      "lts_sim_events_processed_total", {},
+      "Events executed by all simulation engines");
+  obs::Gauge& queue_depth = obs::gauge(
+      "lts_sim_event_queue_depth", {},
+      "Pending events in the most recently stepped engine");
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+}  // namespace
+
+Engine::Engine()
+    : obs_enabled_(obs::MetricsRegistry::global().enabled_flag()) {}
+
+void Engine::record_step_metrics() {
+  auto& metrics = EngineMetrics::get();
+  metrics.events.inc();
+  metrics.queue_depth.set(static_cast<double>(handlers_.size()));
+}
 
 EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
   LTS_REQUIRE(t >= now_, "Engine: cannot schedule event in the past");
@@ -35,6 +64,9 @@ bool Engine::step() {
     auto fn = std::move(it->second);
     handlers_.erase(it);
     ++processed_;
+    if (obs_enabled_->load(std::memory_order_relaxed)) {
+      record_step_metrics();
+    }
     fn();
     return true;
   }

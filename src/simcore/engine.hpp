@@ -7,6 +7,7 @@
 // relies on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -23,7 +24,7 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -57,6 +58,10 @@ class Engine {
   std::uint64_t num_processed() const { return processed_; }
 
  private:
+  /// Outlined so the disabled-observability event loop carries only a
+  /// relaxed load and a predictable branch, not the metrics code.
+  __attribute__((noinline)) void record_step_metrics();
+
   struct QueueEntry {
     SimTime time;
     std::uint64_t seq;
@@ -70,6 +75,9 @@ class Engine {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  // Cached once at construction: checking observability in the event loop
+  // is then a single relaxed load, with no static-init guard per event.
+  const std::atomic<bool>* obs_enabled_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;

@@ -74,16 +74,13 @@ void NodeExporter::scrape() {
   }
   // Delayed reporting: the samples keep their measurement timestamp but
   // become visible only once the event fires, so a snapshot taken in the
-  // gap sees stale data. Safe because samples within one series still
-  // arrive in measurement order (every sample of this exporter is delayed
-  // by the same amount while the fault is active; shrinking the delay can
-  // at worst deliver a newer sample first, so late arrivals with older
-  // timestamps are dropped).
+  // gap sees stale data. When the delay shrinks mid-run (the fault
+  // recovers), a fresher sample can land first; the TSDB then drops the
+  // late arrivals and counts them in telemetry_out_of_order_dropped_total
+  // instead of aborting ingestion.
   engine_.schedule_in(
       report_delay_, [this, labels, now, samples = std::move(samples)] {
         for (const auto& [metric, value] : samples) {
-          const auto newest = tsdb_.latest_time(metric, labels);
-          if (newest.has_value() && *newest > now) continue;
           tsdb_.append(metric, labels, now, value);
         }
       });

@@ -6,9 +6,11 @@ Series::Series(std::size_t capacity) : buffer_(capacity) {
   LTS_REQUIRE(capacity > 0, "Series: capacity must be positive");
 }
 
-void Series::append(SimTime t, double v) {
+bool Series::append(SimTime t, double v) {
   if (size_ > 0) {
-    LTS_REQUIRE(t >= latest().t, "Series: timestamps must be nondecreasing");
+    const Sample& newest = latest();
+    if (t < newest.t) return false;  // late sample, dropped
+    if (v < newest.v) decreases_.push_back(Decrease{newest.t, t});
   }
   const std::size_t pos = (head_ + size_) % buffer_.size();
   buffer_[pos] = Sample{t, v};
@@ -16,7 +18,19 @@ void Series::append(SimTime t, double v) {
     ++size_;
   } else {
     head_ = (head_ + 1) % buffer_.size();
+    // Drop decrease records whose older endpoint has aged out of the ring.
+    const SimTime oldest = at(0).t;
+    std::size_t keep_from = 0;
+    while (keep_from < decreases_.size() &&
+           decreases_[keep_from].t_prev < oldest) {
+      ++keep_from;
+    }
+    if (keep_from > 0) {
+      decreases_.erase(decreases_.begin(),
+                       decreases_.begin() + static_cast<long>(keep_from));
+    }
   }
+  return true;
 }
 
 const Sample& Series::at(std::size_t i) const {
@@ -36,6 +50,17 @@ std::vector<Sample> Series::range(SimTime t_from, SimTime t_to) const {
     if (s.t >= t_from && s.t <= t_to) out.push_back(s);
   }
   return out;
+}
+
+std::size_t Series::num_decreases_between(SimTime t_from, SimTime t_to) const {
+  std::size_t n = 0;
+  // decreases_ is ordered by t_prev; the list is empty for well-behaved
+  // counters, so the straight scan beats setting up a binary search.
+  for (const Decrease& d : decreases_) {
+    if (d.t_prev > t_to) break;
+    if (d.t_prev >= t_from && d.t_curr <= t_to) ++n;
+  }
+  return n;
 }
 
 }  // namespace lts::telemetry

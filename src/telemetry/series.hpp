@@ -20,8 +20,12 @@ class Series {
  public:
   explicit Series(std::size_t capacity = 720);
 
-  /// Appends a sample; timestamps must be nondecreasing.
-  void append(SimTime t, double v);
+  /// Appends a sample. Timestamps must be nondecreasing within the series;
+  /// a sample older than the latest retained one (which a delayed exporter
+  /// pipeline can legally deliver) is dropped, returning false. Dropping —
+  /// instead of aborting — matches Prometheus out-of-order ingestion
+  /// behavior: one late sample must not kill the whole pipeline.
+  bool append(SimTime t, double v);
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -34,10 +38,25 @@ class Series {
   /// Samples with t in [t_from, t_to], oldest first.
   std::vector<Sample> range(SimTime t_from, SimTime t_to) const;
 
+  /// Number of adjacent-sample decreases (cumulative-counter resets) whose
+  /// both endpoints lie in [t_from, t_to]. Decreases are indexed at append
+  /// time, so this walks a (normally empty) side list rather than rescanning
+  /// the window.
+  std::size_t num_decreases_between(SimTime t_from, SimTime t_to) const;
+
  private:
+  /// A sample that arrived smaller than its predecessor: the pair of
+  /// timestamps it happened between. Rare (counter resets), so kept as a
+  /// sorted side list pruned as samples age out of the ring.
+  struct Decrease {
+    SimTime t_prev = 0.0;
+    SimTime t_curr = 0.0;
+  };
+
   std::vector<Sample> buffer_;
   std::size_t head_ = 0;  // index of oldest
   std::size_t size_ = 0;
+  std::vector<Decrease> decreases_;  // ordered by t_prev
 };
 
 }  // namespace lts::telemetry

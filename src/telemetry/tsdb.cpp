@@ -2,9 +2,38 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace lts::telemetry {
+
+namespace {
+
+obs::Counter& out_of_order_counter() {
+  static obs::Counter& c = obs::counter(
+      "telemetry_out_of_order_dropped_total", {},
+      "Samples dropped because they arrived with a timestamp older than the "
+      "newest retained sample of their series (delayed exporter pipeline)");
+  return c;
+}
+
+obs::Counter& counter_reset_counter() {
+  static obs::Counter& c = obs::counter(
+      "telemetry_counter_resets_total", {},
+      "Cumulative-counter resets observed by Tsdb::rate (a sample lower "
+      "than its predecessor, e.g. a NIC counter restarting after a node "
+      "crash/recovery)");
+  return c;
+}
+
+}  // namespace
+
+Tsdb::Tsdb(std::size_t series_capacity) : series_capacity_(series_capacity) {
+  // Touch the correctness counters so a metrics export always carries the
+  // families (at zero) instead of omitting them until the first incident.
+  out_of_order_counter();
+  counter_reset_counter();
+}
 
 std::string encode_series_key(const std::string& name, const Labels& labels) {
   std::string key = name;
@@ -30,7 +59,11 @@ void Tsdb::append(const std::string& name, const Labels& labels, SimTime t,
     it = series_.emplace(key, Entry{labels, Series(series_capacity_)}).first;
     by_name_[name].push_back(key);
   }
-  it->second.series.append(t, v);
+  if (!it->second.series.append(t, v)) {
+    out_of_order_counter().inc();
+    ++samples_dropped_;
+    return;
+  }
   ++samples_appended_;
 }
 
@@ -71,10 +104,30 @@ double Tsdb::rate(const std::string& name, const Labels& labels, SimTime now,
   if (s == nullptr) return 0.0;
   const auto samples = s->range(now - window, now);
   if (samples.size() < 2) return 0.0;
-  const double dv = samples.back().v - samples.front().v;
+  // Prometheus rate() semantics for monotone counters: a sample lower than
+  // its predecessor means the counter reset (the exporting host rebooted)
+  // and restarted from zero, so the post-reset value IS the increase since
+  // the reset. Summing adjacent increases with that correction keeps the
+  // rate nonnegative instead of reporting one huge negative "throughput".
+  const std::size_t resets =
+      s->num_decreases_between(samples.front().t, samples.back().t);
+  double increase;
+  if (resets == 0) {
+    // The common monotone case stays the plain endpoint difference: summing
+    // adjacent deltas is algebraically equal but not bit-identical, and the
+    // golden replay trace depends on these exact values.
+    increase = samples.back().v - samples.front().v;
+  } else {
+    counter_reset_counter().inc(static_cast<double>(resets));
+    increase = 0.0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const double dv = samples[i].v - samples[i - 1].v;
+      increase += dv >= 0.0 ? dv : samples[i].v;
+    }
+  }
   const double dt = samples.back().t - samples.front().t;
   if (dt <= 0.0) return 0.0;
-  return dv / dt;
+  return increase / dt;
 }
 
 namespace {

@@ -20,10 +20,12 @@ std::string encode_series_key(const std::string& name, const Labels& labels);
 
 class Tsdb {
  public:
-  explicit Tsdb(std::size_t series_capacity = 720)
-      : series_capacity_(series_capacity) {}
+  explicit Tsdb(std::size_t series_capacity = 720);
 
-  /// Appends a sample, creating the series on first touch.
+  /// Appends a sample, creating the series on first touch. A sample older
+  /// than its series' newest retained one is dropped (counted in
+  /// num_samples_dropped() and in the global obs counter
+  /// telemetry_out_of_order_dropped_total) rather than aborting ingestion.
   void append(const std::string& name, const Labels& labels, SimTime t,
               double v);
 
@@ -36,6 +38,7 @@ class Tsdb {
 
   std::size_t num_series() const { return series_.size(); }
   std::uint64_t num_samples() const { return samples_appended_; }
+  std::uint64_t num_samples_dropped() const { return samples_dropped_; }
 
   // ---- query primitives ----
 
@@ -49,9 +52,12 @@ class Tsdb {
   std::optional<SimTime> latest_time(const std::string& name,
                                      const Labels& labels) const;
 
-  /// Counter rate: (last - first) / (t_last - t_first) over samples in
-  /// [now - window, now]. Prometheus `rate()` for monotone counters.
-  /// Returns 0 when fewer than two samples fall in the window.
+  /// Counter rate over samples in [now - window, now]: total increase
+  /// divided by the window's time extent, with Prometheus `rate()` counter
+  /// reset handling (a decrease means the counter restarted from zero, so
+  /// the post-reset value is added back; resets are counted in the global
+  /// obs counter telemetry_counter_resets_total). Never negative. Returns 0
+  /// when fewer than two samples fall in the window.
   double rate(const std::string& name, const Labels& labels, SimTime now,
               SimTime window) const;
 
@@ -76,6 +82,7 @@ class Tsdb {
 
   std::size_t series_capacity_;
   std::uint64_t samples_appended_ = 0;
+  std::uint64_t samples_dropped_ = 0;
   // key -> entry; std::map keeps deterministic iteration for select().
   std::map<std::string, Entry> series_;
   // metric name -> keys, to make select() cheap.

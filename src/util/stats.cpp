@@ -47,18 +47,19 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-void Ema::update(double t, double x) {
+bool Ema::update(double t, double x) {
   if (!initialized_) {
     value_ = x;
     last_t_ = t;
     initialized_ = true;
-    return;
+    return true;
   }
-  LTS_ASSERT(t >= last_t_);
+  if (t < last_t_) return false;  // late observation, dropped
   const double dt = t - last_t_;
   const double alpha = 1.0 - std::exp(-dt / tau_);
   value_ += alpha * (x - value_);
   last_t_ = t;
+  return true;
 }
 
 double mean(std::span<const double> xs) {

@@ -41,8 +41,11 @@ class Ema {
   /// timestamps (seconds of simulated time for LTS exporters).
   explicit Ema(double tau) : tau_(tau) {}
 
-  /// Folds in observation `x` taken at time `t` (t must be nondecreasing).
-  void update(double t, double x);
+  /// Folds in observation `x` taken at time `t`. Observations must arrive
+  /// in nondecreasing time order; a late one (t earlier than the last
+  /// update, which a delayed telemetry pipeline can legally deliver) is
+  /// dropped, returning false, rather than corrupting the decayed state.
+  bool update(double t, double x);
   double value() const { return value_; }
   bool empty() const { return !initialized_; }
 

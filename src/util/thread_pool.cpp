@@ -5,6 +5,14 @@
 
 namespace lts {
 
+namespace {
+/// The pool whose worker_loop is running on this thread, if any. Lets
+/// parallel_for detect re-entrant (nested) use: an outer task that blocked
+/// in parallel_for while holding a worker would deadlock waiting for inner
+/// helper tasks that can never be scheduled.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -38,7 +46,11 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (size() <= 1 || n == 1) {
+  // Nested use from one of our own workers runs inline: submitting helpers
+  // and blocking would hold this worker while the outer parallel_for's
+  // sibling tasks occupy the rest, leaving no thread free to ever run the
+  // helpers — a deadlock once the outer loop fans out wider than the pool.
+  if (size() <= 1 || n == 1 || t_current_pool == this) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -72,6 +84,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

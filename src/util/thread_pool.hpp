@@ -32,7 +32,10 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n), blocking until all complete. Exceptions
-  /// from tasks are rethrown (first one wins).
+  /// from tasks are rethrown (first one wins). Safe to call from inside a
+  /// task running on this same pool: nested calls execute inline on the
+  /// calling worker instead of deadlocking on helpers that could never be
+  /// scheduled.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool for library internals.

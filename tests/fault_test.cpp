@@ -9,6 +9,7 @@
 #include "exp/envgen.hpp"
 #include "exp/scenario.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "spark/runtime.hpp"
 #include "spark/workloads.hpp"
 #include "telemetry/exporters.hpp"
@@ -210,6 +211,70 @@ TEST(FaultInjector, CrashStopsTelemetryPingsAndReadiness) {
                              {{"src", "node-1"}, {"dst", "node-3"}})
                 .value_or(0.0),
             90.0);
+}
+
+TEST(FaultInjector, CrashRecoverResetsNicCountersWithoutNegativeRate) {
+  // Regression for the counter-reset bug: a recovered node's NIC counters
+  // restart from zero, so a rate window straddling the reboot used to
+  // compute (small - large)/dt and report a huge negative "throughput".
+  // With Prometheus reset semantics the rate stays nonnegative and the
+  // reset is counted in telemetry_counter_resets_total.
+  auto& registry = obs::MetricsRegistry::global();
+  auto& resets = obs::counter("telemetry_counter_resets_total");
+  registry.set_enabled(true);
+  const double resets_before = resets.value();
+
+  exp::EnvOptions options;
+  // Crash shorter than the 30 s rate window so the post-recovery snapshot
+  // sees both pre-crash (high counter) and post-reset (low) samples.
+  // node-2 carries steady background traffic in both directions with this
+  // seed, so its NIC counters are well into the gigabytes before the crash.
+  options.faults.push_back(
+      {fault::FaultKind::kNodeCrash, "node-2", 50.0, 10.0, 1.0});
+  exp::SimEnv env(21, options);
+  env.warmup();
+  env.engine().run_until(65.0);
+
+  EXPECT_FALSE(env.cluster().node_down(env.cluster().node_index("node-2")));
+  // The reboot actually zeroed the counters.
+  const double tx_now = env.cluster().flows().host_tx_bytes(
+      env.cluster().node(env.cluster().node_index("node-2")).vertex());
+  EXPECT_LT(tx_now, 1e9);  // far less than 60 s of accumulated traffic
+
+  const auto snapshot = env.snapshot();
+  registry.set_enabled(false);
+  for (const auto& row : snapshot.nodes) {
+    EXPECT_GE(row.tx_rate, 0.0) << row.node;
+    EXPECT_GE(row.rx_rate, 0.0) << row.node;
+  }
+  EXPECT_GT(resets.value(), resets_before);
+}
+
+TEST(Degradation, UndelayingExporterMidStreamDropsLateSamples) {
+  // While a report-delay fault is active, measured samples sit in flight
+  // for `severity` seconds. When the fault expires, fresh samples land
+  // immediately — before the still-queued delayed ones, which then arrive
+  // bearing older timestamps. The TSDB must drop and count them (it used
+  // to abort ingestion on any out-of-order append).
+  auto& registry = obs::MetricsRegistry::global();
+  auto& dropped = obs::counter("telemetry_out_of_order_dropped_total");
+  registry.set_enabled(true);
+  const double dropped_before = dropped.value();
+
+  exp::EnvOptions options;
+  options.faults.push_back(
+      {fault::FaultKind::kExporterDelay, "node-2", 44.0, 40.0, 15.0});
+  exp::SimEnv env(9, options);
+  env.warmup();
+  env.engine().run_until(110.0);  // fault expires at 84; pipeline drains
+  registry.set_enabled(false);
+
+  EXPECT_GT(env.tsdb().num_samples_dropped(), 0u);
+  EXPECT_GT(dropped.value(), dropped_before);
+  // The stream kept running and freshness recovered despite the drops.
+  auto after = env.snapshot();
+  EXPECT_GT(after.by_name("node-2").last_seen, 95.0);
+  EXPECT_EQ(telemetry::annotate_staleness(after, 10.0), 0);
 }
 
 TEST(FaultInjector, NodeCrashMidJobStallsUntilRecovery) {

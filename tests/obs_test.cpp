@@ -1,0 +1,326 @@
+// Unit tests for the lts::obs observability layer: metrics registry
+// (counters, gauges, histograms, Prometheus/JSON export, enable gating) and
+// per-decision trace spans, plus the end-to-end guarantees the rest of the
+// simulator relies on (instrumentation never changes simulation results).
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "core/scheduler.hpp"
+#include "exp/envgen.hpp"
+#include "exp/scenario.hpp"
+#include "exp/stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lts::obs {
+namespace {
+
+spark::JobConfig small_job() {
+  spark::JobConfig config;
+  config.app = spark::AppType::kSort;
+  config.input_records = 1000000;
+  config.record_bytes = 200.0;
+  config.executors = 2;
+  config.validate();
+  return config;
+}
+
+/// Fitted model predicting a constant: ranking order is the deterministic
+/// name tie-break, which keeps the trace test independent of training.
+class ConstantModel : public ml::Regressor {
+ public:
+  void fit(const ml::Dataset&) override {}
+  double predict_row(std::span<const double>) const override { return 1.0; }
+  bool is_fitted() const override { return true; }
+  std::string name() const override { return "constant"; }
+  Json to_json() const override { return Json::object(); }
+  void from_json(const Json&) override {}
+};
+
+// ------------------------------------------------------------ registry ----
+
+TEST(MetricsRegistry, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  auto& c = registry.counter("events_total", {}, "help");
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Same identity -> same instrument; different labels -> a sibling child.
+  EXPECT_EQ(&registry.counter("events_total"), &c);
+  auto& c2 = registry.counter("events_total", {{"kind", "x"}});
+  EXPECT_NE(&c2, &c);
+  EXPECT_DOUBLE_EQ(c2.value(), 0.0);
+
+  auto& g = registry.gauge("depth");
+  g.set(7.0);
+  g.add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_EQ(registry.num_instruments(), 3u);
+}
+
+TEST(MetricsRegistry, DisabledInstrumentsAreNoOps) {
+  MetricsRegistry registry;  // disabled by default
+  EXPECT_FALSE(registry.enabled());
+  auto& c = registry.counter("c");
+  auto& g = registry.gauge("g");
+  auto& h = registry.histogram("h", {1.0, 2.0});
+  c.inc(100.0);
+  g.set(100.0);
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  // Re-enabling makes the same references live without re-registration.
+  registry.set_enabled(true);
+  c.inc();
+  EXPECT_DOUBLE_EQ(c.value(), 1.0);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  MetricsRegistry registry;
+  registry.counter("m");
+  EXPECT_THROW(registry.gauge("m"), Error);
+  EXPECT_THROW(registry.histogram("m", {1.0}), Error);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  auto& c = registry.counter("c");
+  auto& h = registry.histogram("h", {1.0});
+  c.inc(5.0);
+  h.observe(0.5);
+  registry.reset_values();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(&registry.counter("c"), &c);  // same instrument survives
+  c.inc();
+  EXPECT_DOUBLE_EQ(c.value(), 1.0);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  auto& h = registry.histogram("latency", {1.0, 2.0, 4.0});
+  // Prometheus `le` semantics: a value equal to a boundary lands in that
+  // boundary's bucket; anything above the last boundary goes to +Inf.
+  h.observe(0.5);   // le=1
+  h.observe(1.0);   // le=1 (inclusive)
+  h.observe(1.5);   // le=2
+  h.observe(4.0);   // le=4 (inclusive)
+  h.observe(100.0);  // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+
+  // Cumulative rendering in the text format, ending in +Inf == count.
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("latency_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{le=\"2\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{le=\"4\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{le=\"+Inf\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("latency_count 5"), std::string::npos);
+}
+
+TEST(Histogram, BoundariesMustBeSortedAndFixed) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("bad", {2.0, 1.0}), Error);
+  auto& h = registry.histogram("h", {1.0, 2.0});
+  // Re-registration with different boundaries is a bug, not a new family.
+  EXPECT_THROW(registry.histogram("h", {5.0}), Error);
+  EXPECT_EQ(&registry.histogram("h", {1.0, 2.0}), &h);
+}
+
+TEST(PrometheusText, EscapesLabelValuesAndHelp) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry
+      .counter("weird_total", {{"path", "a\\b\"c\nd"}},
+               "help with \\ and\nnewline")
+      .inc();
+  const std::string text = registry.prometheus_text();
+  // Label value: backslash, quote, and newline all escaped.
+  EXPECT_NE(text.find("weird_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+  // HELP line: backslash and newline escaped (quotes stay literal).
+  EXPECT_NE(text.find("# HELP weird_total help with \\\\ and\\nnewline"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE weird_total counter"), std::string::npos);
+}
+
+TEST(PrometheusText, FamiliesSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.gauge("zz_depth").set(3.0);
+  registry.counter("aa_total").inc();
+  const std::string text = registry.prometheus_text();
+  const auto aa = text.find("# TYPE aa_total counter");
+  const auto zz = text.find("# TYPE zz_depth gauge");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);
+}
+
+TEST(MetricsRegistry, JsonExportCarriesValuesAndTypes) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.counter("c_total", {{"node", "n1"}}).inc(2.0);
+  registry.histogram("h", {1.0}).observe(0.5);
+  const Json j = registry.to_json();
+  const Json& c = j.at("c_total");
+  EXPECT_EQ(c.at("type").as_string(), "counter");
+  EXPECT_DOUBLE_EQ(c.at("series").at(0u).at("value").as_double(), 2.0);
+  EXPECT_EQ(c.at("series").at(0u).at("labels").at("node").as_string(), "n1");
+  EXPECT_EQ(j.at("h").at("type").as_string(), "histogram");
+  EXPECT_DOUBLE_EQ(j.at("h").at("series").at(0u).at("count").as_double(),
+                   1.0);
+  // Round-trips through the text parser's view of the world.
+  const Json reparsed = Json::parse(j.dump());
+  EXPECT_EQ(reparsed.at("c_total").at("type").as_string(), "counter");
+}
+
+// -------------------------------------------------------------- tracer ----
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.begin("span", 1.0);
+  tracer.phase("p", 1.0);
+  tracer.end(2.0);
+  EXPECT_EQ(tracer.num_spans(), 0u);
+  {
+    ScopedSpan span(tracer, "scoped", 1.0);
+    span.phase("p", 1.5);
+  }
+  EXPECT_EQ(tracer.num_spans(), 0u);
+}
+
+TEST(Tracer, SpanRoundTripThroughScheduler) {
+  // A schedule() call with the tracer enabled must produce exactly one
+  // span walking the pipeline phases in order — and the decision itself
+  // must be identical to an untraced call (observation only).
+  exp::SimEnv env(11);
+  env.warmup();
+  core::LtsScheduler scheduler(
+      core::TelemetryFetcher(env.tsdb(), env.node_names(), {}, {}),
+      std::make_shared<ConstantModel>(), core::FeatureSet::kTable1,
+      /*risk_aversion=*/0.0, {});
+  const auto job = small_job();
+  const SimTime now = env.engine().now();
+
+  const auto untraced = scheduler.schedule(job, now);
+
+  auto& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  const auto traced = scheduler.schedule(job, now);
+  tracer.set_enabled(false);
+
+  ASSERT_EQ(tracer.num_spans(), 1u);
+  const auto& span = tracer.span(0);
+  EXPECT_EQ(span.name, "schedule");
+  EXPECT_DOUBLE_EQ(span.sim_begin, now);
+  ASSERT_EQ(span.phases.size(), 4u);
+  EXPECT_EQ(span.phases[0].name, "fetch");
+  EXPECT_EQ(span.phases[1].name, "features");
+  EXPECT_EQ(span.phases[2].name, "predict");
+  EXPECT_EQ(span.phases[3].name, "rank");
+  for (const auto& phase : span.phases) EXPECT_GE(phase.wall_ms, 0.0);
+
+  // JSON round-trip preserves the structure.
+  const Json j = Json::parse(tracer.to_json().dump());
+  EXPECT_EQ(j.at(0u).at("name").as_string(), "schedule");
+  EXPECT_EQ(j.at(0u).at("phases").at(1u).at("name").as_string(), "features");
+
+  // Tracing changed nothing about the decision.
+  ASSERT_EQ(traced.ranking.size(), untraced.ranking.size());
+  for (std::size_t i = 0; i < traced.ranking.size(); ++i) {
+    EXPECT_EQ(traced.ranking[i].node, untraced.ranking[i].node);
+    EXPECT_DOUBLE_EQ(traced.ranking[i].predicted_duration,
+                     untraced.ranking[i].predicted_duration);
+  }
+  tracer.clear();
+}
+
+TEST(Tracer, ScopedSpanJoinsOpenCallerSpan) {
+  // The job-stream runner's pattern: an outer "decision" span is open, the
+  // scheduler's reuse_open ScopedSpan contributes phases to it instead of
+  // nesting, and the caller appends "bind" afterwards.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(tracer, "decision", 10.0);
+    {
+      ScopedSpan inner(tracer, "schedule", 10.0, /*reuse_open=*/true);
+      inner.phase("fetch", 10.0);
+      inner.phase("rank", 10.0);
+    }
+    EXPECT_EQ(tracer.num_spans(), 0u);  // inner joined; nothing closed yet
+    outer.phase("bind", 12.0);
+  }
+  ASSERT_EQ(tracer.num_spans(), 1u);
+  const auto& span = tracer.span(0);
+  EXPECT_EQ(span.name, "decision");
+  ASSERT_EQ(span.phases.size(), 3u);
+  EXPECT_EQ(span.phases[0].name, "fetch");
+  EXPECT_EQ(span.phases[1].name, "rank");
+  EXPECT_EQ(span.phases[2].name, "bind");
+
+  // Without an open caller span the same construction owns its own span.
+  {
+    ScopedSpan solo(tracer, "schedule", 20.0, /*reuse_open=*/true);
+    solo.phase("rank", 20.0);
+  }
+  ASSERT_EQ(tracer.num_spans(), 2u);
+  EXPECT_EQ(tracer.span(1).name, "schedule");
+}
+
+// ----------------------------------------------- observation-only proof ----
+
+TEST(Instrumentation, EnabledRegistryDoesNotChangeStreamResults) {
+  // The global registry gates every built-in instrument; flipping it on
+  // must not perturb a simulation in any way. Run the same small job
+  // stream twice and demand bit-identical results.
+  exp::StreamOptions options;
+  options.num_jobs = 4;
+  options.seed = 5;
+  options.fallback.enabled = true;  // model policy via fallback: no training
+
+  auto& registry = MetricsRegistry::global();
+  auto& tracer = Tracer::global();
+  ASSERT_FALSE(registry.enabled());
+  const auto quiet = exp::run_job_stream(exp::StreamPolicy::kModel, nullptr,
+                                         exp::paper_scenario_matrix(),
+                                         options);
+
+  registry.set_enabled(true);
+  tracer.set_enabled(true);
+  const auto observed = exp::run_job_stream(exp::StreamPolicy::kModel,
+                                            nullptr,
+                                            exp::paper_scenario_matrix(),
+                                            options);
+  registry.set_enabled(false);
+  tracer.set_enabled(false);
+
+  EXPECT_DOUBLE_EQ(observed.makespan, quiet.makespan);
+  ASSERT_EQ(observed.jobs.size(), quiet.jobs.size());
+  for (std::size_t i = 0; i < quiet.jobs.size(); ++i) {
+    EXPECT_EQ(observed.jobs[i].driver_node, quiet.jobs[i].driver_node);
+    EXPECT_DOUBLE_EQ(observed.jobs[i].submitted, quiet.jobs[i].submitted);
+    EXPECT_DOUBLE_EQ(observed.jobs[i].duration, quiet.jobs[i].duration);
+  }
+  // And the observed run actually recorded something: decisions counted,
+  // one "decision" span per placement attempt.
+  EXPECT_GE(obs::counter("lts_scheduler_decisions_total").value(), 4.0);
+  EXPECT_GE(tracer.num_spans(), 4u);
+  tracer.clear();
+}
+
+}  // namespace
+}  // namespace lts::obs

@@ -4,6 +4,7 @@
 
 #include "cluster/background.hpp"
 #include "cluster/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/promql.hpp"
 #include "telemetry/series.hpp"
@@ -42,11 +43,15 @@ TEST(Series, RangeQuery) {
   EXPECT_DOUBLE_EQ(r.back().t, 6.0);
 }
 
-TEST(Series, NonMonotoneTimestampThrows) {
+TEST(Series, NonMonotoneTimestampDropped) {
+  // A sample older than the newest retained one is a late arrival (delayed
+  // exporter pipeline): dropped, not a crash.
   Series s(4);
-  s.append(5.0, 1.0);
-  EXPECT_THROW(s.append(4.0, 1.0), Error);
-  s.append(5.0, 2.0);  // equal allowed
+  EXPECT_TRUE(s.append(5.0, 1.0));
+  EXPECT_FALSE(s.append(4.0, 99.0));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.latest().v, 1.0);
+  EXPECT_TRUE(s.append(5.0, 2.0));  // equal allowed
 }
 
 TEST(Series, IndexOutOfRangeThrows) {
@@ -86,6 +91,58 @@ TEST(Tsdb, CounterRate) {
   // Missing series or single sample -> 0.
   EXPECT_DOUBLE_EQ(tsdb.rate("nope", labels, 30.0, 10.0), 0.0);
   EXPECT_DOUBLE_EQ(tsdb.rate("tx", labels, 2.0, 1.0), 0.0);
+}
+
+TEST(Tsdb, RateHandlesCounterReset) {
+  // Prometheus rate() semantics: a sample lower than its predecessor means
+  // the counter restarted from zero, so the post-reset value is the
+  // increase since the reset. The rate must never go negative.
+  auto& registry = obs::MetricsRegistry::global();
+  auto& resets = obs::counter("telemetry_counter_resets_total");
+  registry.set_enabled(true);
+  const double before = resets.value();
+
+  Tsdb tsdb;
+  const Labels labels{{"node", "n1"}};
+  // 0, 500, 1000 bytes ... crash ... restart at 0, 500, 1000.
+  tsdb.append("tx", labels, 0.0, 0.0);
+  tsdb.append("tx", labels, 5.0, 500.0);
+  tsdb.append("tx", labels, 10.0, 1000.0);
+  tsdb.append("tx", labels, 15.0, 0.0);  // reset
+  tsdb.append("tx", labels, 20.0, 500.0);
+  tsdb.append("tx", labels, 25.0, 1000.0);
+  const double r = tsdb.rate("tx", labels, 25.0, 25.0);
+  registry.set_enabled(false);
+
+  // Naive (last-first)/dt would be (1000-0)/25 = 40 only by luck here; with
+  // a window ending right after the reset it would be negative. The
+  // corrected increase is 1000 + 0 + 1000 = 2000 over 25s = 80.
+  EXPECT_NEAR(r, 80.0, 1e-9);
+  EXPECT_GE(r, 0.0);
+  EXPECT_DOUBLE_EQ(resets.value() - before, 1.0);
+
+  // Window straddling just the reset: naive rate is negative, fixed is not.
+  EXPECT_GE(tsdb.rate("tx", labels, 15.0, 5.0), 0.0);
+}
+
+TEST(Tsdb, OutOfOrderSamplesDroppedAndCounted) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& dropped = obs::counter("telemetry_out_of_order_dropped_total");
+  registry.set_enabled(true);
+  const double before = dropped.value();
+
+  Tsdb tsdb;
+  const Labels labels{{"node", "n1"}};
+  tsdb.append("cpu", labels, 10.0, 0.5);
+  tsdb.append("cpu", labels, 8.0, 0.9);  // late arrival: dropped
+  tsdb.append("cpu", labels, 12.0, 0.6);
+  registry.set_enabled(false);
+
+  EXPECT_EQ(tsdb.num_samples_dropped(), 1u);
+  EXPECT_DOUBLE_EQ(dropped.value() - before, 1.0);
+  ASSERT_TRUE(tsdb.latest("cpu", labels).has_value());
+  EXPECT_DOUBLE_EQ(tsdb.latest("cpu", labels).value(), 0.6);
+  EXPECT_EQ(tsdb.find("cpu", labels)->size(), 2u);
 }
 
 TEST(Tsdb, OverTimeAggregations) {

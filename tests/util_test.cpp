@@ -2,9 +2,14 @@
 // pool, ascii tables.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/csv.hpp"
 #include "util/logging.hpp"
@@ -171,6 +176,17 @@ TEST(Ema, DecayRate) {
   ema.update(0.0, 1.0);
   ema.update(10.0, 0.0);  // one time constant later
   EXPECT_NEAR(ema.value(), std::exp(-1.0), 1e-9);
+}
+
+TEST(Ema, BackwardsTimestampDroppedNotFatal) {
+  // Out-of-order feeds (delayed telemetry pipelines) must not abort or
+  // corrupt the average: the late sample is rejected and the state stays.
+  Ema ema(10.0);
+  EXPECT_TRUE(ema.update(5.0, 1.0));
+  const double before = ema.value();
+  EXPECT_FALSE(ema.update(3.0, 100.0));
+  EXPECT_DOUBLE_EQ(ema.value(), before);
+  EXPECT_TRUE(ema.update(5.0, before));  // equal timestamp still allowed
 }
 
 TEST(Stats, Percentile) {
@@ -385,6 +401,44 @@ TEST(ThreadPool, SingleThreadDegradesGracefully) {
   int sum = 0;
   pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
   EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a worker used to enqueue subtasks on
+  // the same pool and block waiting for them — with every worker doing the
+  // same, nobody was left to run anything (deadlock). Nested calls now
+  // detect the worker context and run inline. Guard with a watchdog so a
+  // regression fails the test instead of hanging the suite.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::atomic<bool> finished{false};
+  std::thread watchdog([&] {
+    for (int i = 0; i < 200 && !finished.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!finished.load()) {
+      std::fprintf(stderr, "nested parallel_for deadlocked\n");
+      std::abort();
+    }
+  });
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { done.fetch_add(1); });
+  });
+  finished = true;
+  watchdog.join();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t i) {
+                          pool.parallel_for(4, [&](std::size_t j) {
+                            if (i == 1 && j == 2) throw Error("inner boom");
+                          });
+                        }),
+      Error);
 }
 
 // -------------------------------------------------------------- table ----

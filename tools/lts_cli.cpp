@@ -17,6 +17,12 @@
 // the scheduler's staleness/fallback policies (and makes --model-file
 // optional: with no model every decision uses the fallback ranking). All
 // commands are self-contained simulations; no external services are needed.
+//
+// Observability (evaluate/schedule/query): --metrics-out FILE enables the
+// lts::obs metrics registry and writes a Prometheus text-format dump after
+// the command finishes; --trace-out FILE enables per-decision trace spans
+// and writes them as a JSON array. Both are off without the flags and add
+// no overhead.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +34,8 @@
 
 #include "core/scheduler.hpp"
 #include "core/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "exp/collector.hpp"
 #include "exp/envgen.hpp"
 #include "exp/evaluate.hpp"
@@ -81,6 +89,41 @@ class Args {
 
  private:
   std::map<std::string, std::string> values_;
+};
+
+/// Enables the global metrics registry / tracer when --metrics-out /
+/// --trace-out are present (must happen before the simulation runs) and
+/// writes the files on flush().
+class ObsSink {
+ public:
+  explicit ObsSink(const Args& args)
+      : metrics_path_(args.get("metrics-out", "")),
+        trace_path_(args.get("trace-out", "")) {
+    if (!metrics_path_.empty()) {
+      obs::MetricsRegistry::global().set_enabled(true);
+    }
+    if (!trace_path_.empty()) obs::Tracer::global().set_enabled(true);
+  }
+
+  void flush() const {
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) throw Error("cannot write metrics file: " + metrics_path_);
+      out << obs::MetricsRegistry::global().prometheus_text();
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path_.c_str());
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (!out) throw Error("cannot write trace file: " + trace_path_);
+      out << obs::Tracer::global().to_json().dump(2) << "\n";
+      std::fprintf(stderr, "%zu trace span(s) written to %s\n",
+                   obs::Tracer::global().num_spans(), trace_path_.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
 };
 
 core::FeatureSet feature_set(const Args& args) {
@@ -174,6 +217,7 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_evaluate(const Args& args) {
+  ObsSink obs_sink(args);
   const auto set = feature_set(args);
   auto model = std::shared_ptr<const ml::Regressor>(
       ml::load_model(args.require("model-file")));
@@ -190,10 +234,12 @@ int cmd_evaluate(const Args& args) {
                           3);
   }
   std::printf("%s", table.render("Node-selection accuracy").c_str());
+  obs_sink.flush();
   return 0;
 }
 
 int cmd_schedule(const Args& args) {
+  ObsSink obs_sink(args);
   const auto set = feature_set(args);
   // With --degraded the fallback ranking handles a missing model, so
   // --model-file becomes optional (useful to inspect the pure fallback).
@@ -235,12 +281,14 @@ int cmd_schedule(const Args& args) {
   }
   std::printf("%s", scheduler.build_manifest(job, "lts-cli-job", decision)
                         .c_str());
+  obs_sink.flush();
   return 0;
 }
 
 int cmd_query(const Args& args) {
   // Evaluates a PromQL-mini expression against a warmed environment's
   // metrics server: lts query --expr 'node_cpu_load' [--seed S] [--at T]
+  ObsSink obs_sink(args);
   exp::SimEnv env(static_cast<std::uint64_t>(args.get_int("seed", 118)));
   const SimTime at = static_cast<SimTime>(
       args.get_int("at", static_cast<long long>(env.options().warmup)));
@@ -249,6 +297,7 @@ int cmd_query(const Args& args) {
   const auto results = telemetry::eval_promql(query, env.tsdb(), at);
   if (results.empty()) {
     std::printf("(no data)\n");
+    obs_sink.flush();
     return 0;
   }
   AsciiTable table({"series", "value"});
@@ -261,6 +310,7 @@ int cmd_query(const Args& args) {
     table.add_row({"{" + labels + "}", strformat("%.6g", r.value)});
   }
   std::printf("%s", table.render(query.to_string()).c_str());
+  obs_sink.flush();
   return 0;
 }
 
