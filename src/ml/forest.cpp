@@ -64,6 +64,7 @@ void RandomForestRegressor::fit(const Dataset& data) {
   // Each tree gets an independent Rng derived from (seed, tree index), so
   // training is deterministic regardless of thread interleaving.
   ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+  // lts-lint: shared-guarded(partitioned: tree b writes only trees_[b] and bags[b]; data/params are read-only)
   pool.parallel_for(n_trees, [&](std::size_t b) {
     Rng rng(params_.seed * 0x9e3779b97f4a7c15ULL + b * 2 + 1);
     std::vector<std::size_t> rows;

@@ -199,6 +199,7 @@ void FlowManager::recompute_rates() {
     recompute_rates_core();
     return;
   }
+  // lts-lint: nondeterminism-ok(wall time measures real solver cost for the obs duration histogram only; it never reaches flow state, rates, or telemetry series)
   const auto wall_begin = std::chrono::steady_clock::now();
   const std::size_t rounds = recompute_rates_core();
   record_recompute_metrics(rounds, wall_begin);
@@ -310,11 +311,13 @@ std::size_t FlowManager::recompute_rates_core() {
 }
 
 void FlowManager::record_recompute_metrics(
+    // lts-lint: nondeterminism-ok(wall-clock type in the signature of the observability-only recording path)
     std::size_t rounds, std::chrono::steady_clock::time_point wall_begin) {
   auto& metrics = RecomputeMetrics::get();
   metrics.total.inc();
   metrics.rounds.observe(static_cast<double>(rounds));
   metrics.duration.observe(
+      // lts-lint: nondeterminism-ok(wall-clock delta recorded into the obs histogram; values are observational only and never read back)
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_begin)
           .count());

@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -150,6 +149,7 @@ class FlowManager {
   /// Outlined so an unobserved recompute pays only a relaxed load and a
   /// predictable branch for its instrumentation.
   __attribute__((noinline)) void record_recompute_metrics(
+      // lts-lint: nondeterminism-ok(wall-clock type names the obs-only timing argument; no simulation state depends on it)
       std::size_t rounds, std::chrono::steady_clock::time_point wall_begin);
 
   sim::Engine& engine_;

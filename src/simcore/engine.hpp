@@ -10,8 +10,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/common.hpp"
@@ -81,7 +81,10 @@ class Engine {
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  // std::map, not unordered_map: handlers_ is only ever probed by id today,
+  // but an ordered container makes any future iteration deterministic by
+  // construction — the same reasoning as FlowManager::flows_ (lint rule R2).
+  std::map<EventId, std::function<void()>> handlers_;
 };
 
 /// Repeats a callback at a fixed interval until stopped. The first firing is

@@ -1,0 +1,22 @@
+// Seeded R1 violations: every nondeterminism source the rule must catch.
+// Linted under a virtual path inside src/ (see lint_test.cpp); never built.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace lts::fixture {
+
+double draw() {
+  std::random_device rd;          // -> R1 random_device
+  std::srand(rd());               // -> R1 srand
+  int noise = rand();             // -> R1 rand
+  auto t0 = std::chrono::steady_clock::now();    // -> R1 wall clock
+  auto t1 = std::chrono::system_clock::now();    // -> R1 wall clock
+  const char* cfg = std::getenv("LTS_MODE");     // -> R1 getenv
+  (void)t0;
+  (void)t1;
+  (void)cfg;
+  return static_cast<double>(noise);
+}
+
+}  // namespace lts::fixture

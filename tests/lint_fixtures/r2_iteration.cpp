@@ -1,0 +1,18 @@
+// Seeded R2 cross-file violation: this "cpp" iterates a container whose
+// unordered declaration lives in the companion header text
+// (r2_iteration_header.txt). Linted as a pair; never built.
+
+namespace lts::fixture {
+
+double total_weight(const EdgeTable& table) {
+  double sum = 0.0;
+  for (const auto& [key, weight] : edges_) {  // iterates companion's map
+    sum += weight;
+  }
+  for (auto it = weights_.begin(); it != weights_.end(); ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+}  // namespace lts::fixture

@@ -1,0 +1,22 @@
+// Seeded R2 violations: unordered containers in determinism-critical code.
+// Linted under a virtual src/simcore/ path; never built.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lts::fixture {
+
+struct Registry {
+  std::unordered_map<int, std::string> by_id;  // -> R2 declaration
+  std::unordered_set<int> seen;                // -> R2 declaration
+
+  int checksum() const {
+    int sum = 0;
+    for (const auto& [id, name] : by_id) {  // order-dependent traversal
+      sum += id + static_cast<int>(name.size());
+    }
+    return sum;
+  }
+};
+
+}  // namespace lts::fixture

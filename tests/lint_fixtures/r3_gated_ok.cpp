@@ -1,0 +1,28 @@
+// R3-compliant hot-path instrumentation: registrations hoisted into a
+// static *Metrics struct, mutations confined to an outlined record_*
+// function, call site gated on the cached enabled flag. Must lint clean
+// under a virtual src/net/ path. Never built.
+namespace lts::fixture {
+
+struct StepMetrics {
+  obs::Counter& steps = obs::counter("fixture_steps_total", {}, "steps");
+  obs::Gauge& depth = obs::gauge("fixture_depth", {}, "queue depth");
+  static StepMetrics& get() {
+    static StepMetrics m;
+    return m;
+  }
+};
+
+void record_step_metrics(double queue_depth) {
+  auto& metrics = StepMetrics::get();
+  metrics.steps.inc();
+  metrics.depth.set(queue_depth);
+}
+
+void step(const std::atomic<bool>* obs_enabled_) {
+  if (obs_enabled_->load(std::memory_order_relaxed)) {
+    record_step_metrics(3.0);
+  }
+}
+
+}  // namespace lts::fixture

@@ -1,0 +1,23 @@
+// Seeded R3 violations: obs instrumentation in a hot path that skips the
+// cached-enabled-flag pattern. Linted under a virtual src/net/ path; never
+// built. Three distinct defects:
+//   * instrument registration at function scope (not hoisted into a static
+//     *Metrics struct, not a static local)
+//   * mutation outside any record_* function
+//   * a record_* function exists but the file has no
+//     obs_enabled_->load(std::memory_order_relaxed) guard anywhere
+namespace lts::fixture {
+
+void solve_step() {
+  auto& flows = obs::counter("fixture_flows_total", {}, "hot-path counter");
+  flows.inc();
+}
+
+struct SolverMetrics {
+  obs::Counter& rounds = obs::counter("fixture_rounds_total", {}, "ok here");
+  static SolverMetrics& get();
+};
+
+void record_solver_metrics() { SolverMetrics::get().rounds.inc(); }
+
+}  // namespace lts::fixture

@@ -1,0 +1,26 @@
+// Seeded R4 violations: raw thread management and an unannotated
+// shared-capture parallel_for. Never built.
+#include <thread>
+
+namespace lts::fixture {
+
+void spawn_unmanaged() {
+  std::thread worker([] {});                       // -> R4 raw thread
+  worker.detach();                                 // -> R4 detach
+  const unsigned n = std::thread::hardware_concurrency();  // fine: not a ctor
+  (void)n;
+}
+
+void unannotated_shared_state(ThreadPool& pool) {
+  int sum = 0;
+  pool.parallel_for(16, [&](std::size_t i) {       // -> R4 no annotation
+    sum += static_cast<int>(i);
+  });
+}
+
+void value_capture_is_fine(ThreadPool& pool) {
+  const int base = 7;
+  pool.parallel_for(4, [base](std::size_t) { (void)base; });
+}
+
+}  // namespace lts::fixture

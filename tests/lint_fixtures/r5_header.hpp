@@ -1,0 +1,11 @@
+// Seeded R5 violations: no #pragma once / include guard before the first
+// declaration, and a file-scope using-directive. Never built.
+#include <string>
+
+using namespace std;
+
+namespace lts::fixture {
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace lts::fixture

@@ -1,0 +1,22 @@
+// Seeded malformed waivers: every syntax error the waiver parser rejects.
+// Never built.
+#include <unordered_map>
+
+namespace lts::fixture {
+
+// lts-lint: no-such-token(whatever)                    -> unknown token
+std::unordered_map<int, int> a_;
+
+// lts-lint: ordered-ok                                 -> missing justification
+std::unordered_map<int, int> b_;
+
+// lts-lint: ordered-ok()                               -> empty justification
+std::unordered_map<int, int> c_;
+
+void fanout(ThreadPool& pool) {
+  int sum = 0;
+  // lts-lint: shared-guarded(hopefully fine)           -> invalid strategy
+  pool.parallel_for(4, [&](std::size_t i) { sum += static_cast<int>(i); });
+}
+
+}  // namespace lts::fixture

@@ -1,0 +1,9 @@
+// A well-formed waiver that suppresses nothing: the stale-waiver check must
+// flag it so waivers cannot outlive the violations they excused. Never built.
+
+namespace lts::fixture {
+
+// lts-lint: ordered-ok(this map was converted to std::map long ago; the waiver lingers)
+int perfectly_ordinary_ = 0;
+
+}  // namespace lts::fixture

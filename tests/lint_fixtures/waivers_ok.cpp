@@ -1,0 +1,33 @@
+// One violation of each waivable rule, each carrying a justified waiver —
+// both placements (trailing the flagged line, and on a standalone comment
+// line directly above it) are exercised. Must lint clean under a virtual
+// src/simcore/ path. Never built.
+#include <chrono>
+#include <unordered_map>
+
+namespace lts::fixture {
+
+// lts-lint: ordered-ok(pure lookup table keyed by id; never iterated, so hash order cannot surface)
+std::unordered_map<int, int> lookup_;
+
+void timed_section() {
+  auto t0 = std::chrono::steady_clock::now();  // lts-lint: nondeterminism-ok(profiling harness only; value printed, never fed to sim state)
+  (void)t0;
+}
+
+void guarded_fanout(ThreadPool& pool) {
+  std::mutex m;
+  int shared = 0;
+  // lts-lint: shared-guarded(mutex: every write to shared happens under m)
+  pool.parallel_for(8, [&](std::size_t) {
+    std::lock_guard lock(m);
+    ++shared;
+  });
+}
+
+void watchdog_thread() {
+  std::thread t([] {});  // lts-lint: thread-ok(fixture exercising the waiver path)
+  t.join();
+}
+
+}  // namespace lts::fixture

@@ -1,0 +1,246 @@
+// Tests for tools/lts_lint: every rule R1-R5 must fire on its seeded
+// fixture with the right rule id, every waivable rule must be silenceable
+// by a justified waiver, malformed and stale waivers must be diagnosed,
+// and the repository itself must lint clean (the integration guarantee the
+// CI lint job enforces).
+//
+// Fixtures live in tests/lint_fixtures/ and are never compiled; they are
+// linted under *virtual* paths because rule scoping is path-driven (the
+// same snippet is a violation in src/simcore/ and fine in tools/).
+#include "lts_lint/linter.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using lts::lint::Diagnostic;
+using lts::lint::lint_text;
+using lts::lint::lint_tree;
+using lts::lint::Options;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LTS_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// 1-based line number of the first line containing `marker`.
+std::size_t line_of(const std::string& text, const std::string& marker) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    if (line.find(marker) != std::string::npos) return n;
+  }
+  ADD_FAILURE() << "marker not found: " << marker;
+  return 0;
+}
+
+bool has_diag(const std::vector<Diagnostic>& diags, const std::string& rule,
+              std::size_t line) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.rule == rule && d.line == line;
+  });
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& diags,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// ------------------------------------------------------------------- R1 ----
+
+TEST(LintR1, FiresOnEveryNondeterminismSource) {
+  const std::string text = read_fixture("r1_nondeterminism.cpp");
+  const auto diags = lint_text("src/simcore/fixture.cpp", text);
+  EXPECT_TRUE(has_diag(diags, "R1", line_of(text, "std::random_device rd")));
+  EXPECT_TRUE(has_diag(diags, "R1", line_of(text, "std::srand")));
+  EXPECT_TRUE(has_diag(diags, "R1", line_of(text, "int noise = rand()")));
+  EXPECT_TRUE(has_diag(diags, "R1", line_of(text, "steady_clock::now")));
+  EXPECT_TRUE(has_diag(diags, "R1", line_of(text, "system_clock::now")));
+  EXPECT_TRUE(has_diag(diags, "R1", line_of(text, "std::getenv")));
+  EXPECT_EQ(diags.size(), 6u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "R1");
+}
+
+TEST(LintR1, ScopedToSrcOutsideObsAndCli) {
+  const std::string text = read_fixture("r1_nondeterminism.cpp");
+  // Wall-clock timing is the obs layer's business; tests and tools may
+  // read clocks and the environment freely.
+  EXPECT_TRUE(lint_text("src/obs/fixture.cpp", text).empty());
+  EXPECT_TRUE(lint_text("tests/fixture.cpp", text).empty());
+  EXPECT_TRUE(lint_text("bench/fixture.cpp", text).empty());
+}
+
+// ------------------------------------------------------------------- R2 ----
+
+TEST(LintR2, FiresOnUnorderedDeclarationsInCriticalDirs) {
+  const std::string text = read_fixture("r2_unordered.cpp");
+  for (const char* dir : {"src/simcore/", "src/net/", "src/core/",
+                          "src/cluster/", "src/spark/"}) {
+    const auto diags = lint_text(std::string(dir) + "fixture.cpp", text);
+    EXPECT_TRUE(has_diag(diags, "R2", line_of(text, "by_id")));
+    EXPECT_TRUE(has_diag(diags, "R2", line_of(text, "seen")));
+    EXPECT_EQ(count_rule(diags, "R2"), 2u) << dir;
+  }
+}
+
+TEST(LintR2, IncludesAreExemptAndOtherDirsAreOutOfScope) {
+  const std::string text = read_fixture("r2_unordered.cpp");
+  const auto diags = lint_text("src/simcore/fixture.cpp", text);
+  EXPECT_FALSE(has_diag(diags, "R2", line_of(text, "#include <unordered_map>")));
+  // ml/telemetry/etc. are not tagged determinism-critical.
+  EXPECT_TRUE(lint_text("src/ml/fixture.cpp", text).empty());
+}
+
+TEST(LintR2, FiresOnIterationOverCompanionHeaderContainers) {
+  const std::string text = read_fixture("r2_iteration.cpp");
+  const std::string companion = read_fixture("r2_iteration_header.txt");
+  const auto diags = lint_text("src/net/fixture.cpp", text, companion);
+  EXPECT_TRUE(has_diag(diags, "R2", line_of(text, ": edges_")));
+  EXPECT_TRUE(has_diag(diags, "R2", line_of(text, "weights_.begin()")));
+  EXPECT_EQ(count_rule(diags, "R2"), 2u);
+  // Without the companion, the declarations are invisible and nothing fires.
+  EXPECT_TRUE(lint_text("src/net/fixture.cpp", text).empty());
+}
+
+// ------------------------------------------------------------------- R3 ----
+
+TEST(LintR3, FiresOnUngatedHotPathInstrumentation) {
+  const std::string text = read_fixture("r3_obs.cpp");
+  const auto diags = lint_text("src/net/fixture.cpp", text);
+  EXPECT_TRUE(has_diag(diags, "R3", line_of(text, "auto& flows")));
+  EXPECT_TRUE(has_diag(diags, "R3", line_of(text, "flows.inc()")));
+  EXPECT_TRUE(has_diag(diags, "R3", line_of(text, "void record_solver_metrics")));
+  EXPECT_EQ(diags.size(), 3u);
+}
+
+TEST(LintR3, AcceptsTheCachedEnabledFlagPattern) {
+  const std::string text = read_fixture("r3_gated_ok.cpp");
+  EXPECT_TRUE(lint_text("src/net/fixture.cpp", text).empty());
+  EXPECT_TRUE(lint_text("src/simcore/fixture.cpp", text).empty());
+}
+
+TEST(LintR3, HotPathScopeIsSimcoreAndNet) {
+  const std::string text = read_fixture("r3_obs.cpp");
+  // The scheduler/telemetry layers record per decision, not per event;
+  // they are outside the hot-path rule.
+  EXPECT_TRUE(lint_text("src/core/fixture.cpp", text).empty());
+  EXPECT_TRUE(lint_text("src/telemetry/fixture.cpp", text).empty());
+}
+
+// ------------------------------------------------------------------- R4 ----
+
+TEST(LintR4, FiresOnRawThreadsDetachAndUnannotatedSharing) {
+  const std::string text = read_fixture("r4_threads.cpp");
+  const auto diags = lint_text("tests/fixture.cpp", text);
+  EXPECT_TRUE(has_diag(diags, "R4", line_of(text, "std::thread worker")));
+  EXPECT_TRUE(has_diag(diags, "R4", line_of(text, "worker.detach()")));
+  EXPECT_TRUE(has_diag(diags, "R4", line_of(text, "pool.parallel_for(16")));
+  EXPECT_EQ(diags.size(), 3u);
+  // hardware_concurrency() is a static query, and by-value captures share
+  // nothing mutable: neither may fire.
+  EXPECT_FALSE(
+      has_diag(diags, "R4", line_of(text, "hardware_concurrency")));
+  EXPECT_FALSE(has_diag(diags, "R4", line_of(text, "[base]")));
+}
+
+TEST(LintR4, ThreadPoolImplementationIsExempt) {
+  const std::string text = read_fixture("r4_threads.cpp");
+  EXPECT_TRUE(lint_text("src/util/thread_pool.cpp", text).empty());
+}
+
+// ------------------------------------------------------------------- R5 ----
+
+TEST(LintR5, FiresOnMissingGuardAndUsingNamespace) {
+  const std::string text = read_fixture("r5_header.hpp");
+  const auto diags = lint_text("src/util/fixture.hpp", text);
+  EXPECT_TRUE(has_diag(diags, "R5", 1));
+  EXPECT_TRUE(has_diag(diags, "R5", line_of(text, "using namespace std")));
+  EXPECT_EQ(diags.size(), 2u);
+  // The same content as a .cpp is fine (R5 is header hygiene).
+  EXPECT_TRUE(lint_text("src/util/fixture.cpp", text).empty());
+}
+
+TEST(LintR5, AcceptsPragmaOnceAfterLeadingComments) {
+  const std::string good =
+      "// A documented header.\n"
+      "\n"
+      "#pragma once\n"
+      "namespace x {}\n";
+  EXPECT_TRUE(lint_text("src/util/fixture.hpp", good).empty());
+  const std::string guarded =
+      "#ifndef LTS_FIXTURE_HPP\n"
+      "#define LTS_FIXTURE_HPP\n"
+      "namespace x {}\n"
+      "#endif\n";
+  EXPECT_TRUE(lint_text("src/util/fixture.hpp", guarded).empty());
+}
+
+// --------------------------------------------------------------- waivers ----
+
+TEST(LintWaivers, JustifiedWaiversSilenceEveryWaivableRule) {
+  const std::string text = read_fixture("waivers_ok.cpp");
+  EXPECT_TRUE(lint_text("src/simcore/fixture.cpp", text).empty());
+}
+
+TEST(LintWaivers, MalformedWaiversAreDiagnosedAndDoNotSuppress) {
+  const std::string text = read_fixture("waiver_bad.cpp");
+  const auto diags = lint_text("src/simcore/fixture.cpp", text);
+  EXPECT_TRUE(
+      has_diag(diags, "waiver-syntax", line_of(text, "no-such-token")));
+  EXPECT_TRUE(has_diag(diags, "waiver-syntax",
+                       line_of(text, "missing justification")));
+  EXPECT_TRUE(has_diag(diags, "waiver-syntax",
+                       line_of(text, "empty justification")));
+  EXPECT_TRUE(
+      has_diag(diags, "waiver-syntax", line_of(text, "hopefully fine")));
+  EXPECT_EQ(count_rule(diags, "waiver-syntax"), 4u);
+  // A broken waiver must not silence the violation beneath it.
+  EXPECT_EQ(count_rule(diags, "R2"), 3u);
+  EXPECT_EQ(count_rule(diags, "R4"), 1u);
+}
+
+TEST(LintWaivers, StaleWaiversAreFlagged) {
+  const std::string text = read_fixture("waiver_unused.cpp");
+  const auto diags = lint_text("src/simcore/fixture.cpp", text);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "waiver-unused");
+  EXPECT_EQ(diags[0].line, line_of(text, "lingers"));
+  Options lax;
+  lax.check_unused_waivers = false;
+  EXPECT_TRUE(lint_text("src/simcore/fixture.cpp", text, "", lax).empty());
+}
+
+// ---------------------------------------------------------------- output ----
+
+TEST(LintOutput, FormatsGccStyleDiagnostics) {
+  const std::vector<Diagnostic> diags = {
+      {"src/net/flow.cpp", 42, "R2", "unordered container"}};
+  EXPECT_EQ(lts::lint::format_diagnostics(diags),
+            "src/net/flow.cpp:42: error[R2]: unordered container\n");
+}
+
+// ------------------------------------------------------------ the repo ----
+
+TEST(LintRepo, WholeRepositoryIsClean) {
+  // The integration guarantee: zero unwaived violations across src/,
+  // tools/, bench/, and tests/. If this fails, either fix the violation or
+  // add a justified waiver (and record it in CHANGES.md).
+  const auto diags = lint_tree(LTS_REPO_ROOT);
+  EXPECT_TRUE(diags.empty()) << lts::lint::format_diagnostics(diags);
+}
+
+}  // namespace

@@ -375,6 +375,7 @@ TEST(StringUtil, HumanDuration) {
 TEST(ThreadPool, ParallelForCoversAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(100);
+  // lts-lint: shared-guarded(atomic: each index increments its own atomic slot)
   pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
@@ -399,6 +400,7 @@ TEST(ThreadPool, SubmitReturnsFuture) {
 TEST(ThreadPool, SingleThreadDegradesGracefully) {
   ThreadPool pool(1);
   int sum = 0;
+  // lts-lint: shared-guarded(partitioned: a single-worker pool runs all indices sequentially on the caller, so the plain int is never shared)
   pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
   EXPECT_EQ(sum, 45);
 }
@@ -412,6 +414,7 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   ThreadPool pool(2);
   std::atomic<int> done{0};
   std::atomic<bool> finished{false};
+  // lts-lint: thread-ok(the watchdog must live outside the pool under test: a deadlocked pool could never run it)
   std::thread watchdog([&] {
     for (int i = 0; i < 200 && !finished.load(); ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -421,7 +424,9 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
       std::abort();
     }
   });
+  // lts-lint: shared-guarded(atomic: the only shared write is the done counter)
   pool.parallel_for(4, [&](std::size_t) {
+    // lts-lint: shared-guarded(atomic: increments the shared done counter)
     pool.parallel_for(8, [&](std::size_t) { done.fetch_add(1); });
   });
   finished = true;
@@ -432,13 +437,39 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
 TEST(ThreadPool, NestedParallelForPropagatesException) {
   ThreadPool pool(2);
   EXPECT_THROW(
+      // lts-lint: shared-guarded(partitioned: lambdas only read their loop indices; the pool reference is the sole capture)
       pool.parallel_for(4,
                         [&](std::size_t i) {
+                          // lts-lint: shared-guarded(partitioned: reads indices only; error propagation is synchronized inside parallel_for)
                           pool.parallel_for(4, [&](std::size_t j) {
                             if (i == 1 && j == 2) throw Error("inner boom");
                           });
                         }),
       Error);
+}
+
+TEST(ThreadPool, ConcurrentAndNestedParallelForIsRaceFree) {
+  // Hammers every parallel_for execution path at once: an outer pool fans
+  // out onto an inner pool (cross-pool calls take the submit path, since
+  // outer workers are not inner workers), and the innermost level nests
+  // within inner workers (inline path). Exists chiefly for
+  // LTS_SANITIZE=thread builds, where TSan verifies the queue, the
+  // work-stealing counter, and error propagation are fully synchronized
+  // under concurrent callers.
+  ThreadPool inner(3);
+  ThreadPool outer(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 4; ++round) {
+    // lts-lint: shared-guarded(atomic: every shared write lands on the total counter)
+    outer.parallel_for(8, [&](std::size_t) {
+      // lts-lint: shared-guarded(atomic: forwards increments of the shared atomic counter)
+      inner.parallel_for(4, [&](std::size_t) {
+        // lts-lint: shared-guarded(atomic: increments the shared atomic counter)
+        inner.parallel_for(2, [&](std::size_t) { total.fetch_add(1); });
+      });
+    });
+  }
+  EXPECT_EQ(total.load(), 4 * 8 * 4 * 2);
 }
 
 // -------------------------------------------------------------- table ----

@@ -1,0 +1,68 @@
+// lts_lint CLI: walks the repository and reports invariant violations.
+//
+//   lts_lint [--root <dir>] [--no-unused-waivers]
+//
+// Exit code 0 when the tree is clean, 1 when any diagnostic was emitted,
+// 2 on usage errors. Output is GCC-style `file:line: error[rule]: message`
+// so editors and CI annotate it natively.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lts_lint/linter.hpp"
+
+namespace {
+
+void print_rules() {
+  std::puts(
+      "lts_lint rule catalog:\n"
+      "  R1  nondeterminism sources (random_device, rand, wall clocks,\n"
+      "      getenv) in src/ outside the obs/CLI layers\n"
+      "  R2  std::unordered_map/set in determinism-critical dirs\n"
+      "      (simcore, net, core, cluster, spark)\n"
+      "  R3  obs instrumentation in hot paths (simcore, net) outside the\n"
+      "      static-Metrics-struct / record_* / cached-enabled-flag pattern\n"
+      "  R4  raw std::thread or detach() outside src/util/thread_pool;\n"
+      "      parallel_for lambdas with by-reference captures lacking a\n"
+      "      shared-guarded(mutex|atomic|partitioned) annotation\n"
+      "  R5  headers without #pragma once / include guards, or with\n"
+      "      file-scope `using namespace`\n"
+      "waivers: // lts-lint: <token>(<justification>) on or directly above\n"
+      "the flagged line; tokens: nondeterminism-ok ordered-ok obs-gated\n"
+      "thread-ok shared-guarded. Malformed or unused waivers are errors.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  lts::lint::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--no-unused-waivers") {
+      opts.check_unused_waivers = false;
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: lts_lint [--root <dir>] [--no-unused-waivers] "
+                "[--list-rules]");
+      return 0;
+    } else {
+      std::fprintf(stderr, "lts_lint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<lts::lint::Diagnostic> diags =
+      lts::lint::lint_tree(root, opts);
+  if (diags.empty()) {
+    std::puts("lts_lint: clean");
+    return 0;
+  }
+  std::fputs(lts::lint::format_diagnostics(diags).c_str(), stderr);
+  std::fprintf(stderr, "lts_lint: %zu violation(s)\n", diags.size());
+  return 1;
+}
