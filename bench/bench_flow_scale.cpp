@@ -1,0 +1,398 @@
+// Flow-solver scale sweep: shuffle storms of 100 / 1k / 10k concurrent
+// flows, run twice — once through a transcription of the pre-overhaul
+// FlowManager (eager per-call recompute, map storage, O(links) refills,
+// min-scan completion tracking) and once through the real, batched
+// epoch-stamped solver. Both simulate the identical workload; the sweep
+// proves the wall-clock win AND that the overhaul changed no simulated
+// timestamp (final sim times are compared bit-for-bit).
+//
+// Emits BENCH_flow_scale.json via exp::BenchReport; CI uploads it as the
+// perf-trajectory artifact.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/benchio.hpp"
+#include "net/flow.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "simcore/engine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lts;
+
+// ===================================================== naive reference ====
+// The pre-overhaul FlowManager, kept verbatim in spirit: one full max-min
+// recompute per start/cancel/completion event, std::map flow storage,
+// per-round O(links) count refills, and an O(flows) min-scan to schedule
+// the next completion. This is the baseline the acceptance criterion's
+// ">= 5x at 10k flows" is measured against.
+class NaiveFlowManager {
+ public:
+  NaiveFlowManager(sim::Engine& engine, const net::Topology& topo)
+      : engine_(engine), topo_(topo) {
+    link_alloc_.assign(topo_.num_links(), 0.0);
+  }
+
+  net::FlowId start(net::VertexId src, net::VertexId dst, Bytes size) {
+    advance();
+    Flow flow;
+    flow.id = next_id_++;
+    flow.src = src;
+    flow.dst = dst;
+    flow.remaining = size;
+    flow.path = topo_.route(src, dst);
+    const SimTime rtt = 2.0 * 50e-6 + topo_.path_prop_delay(src, dst) +
+                        topo_.path_prop_delay(dst, src);
+    flow.cap = 16.0 * 1024 * 1024 / std::max(rtt, 1e-6);
+    const net::FlowId id = flow.id;
+    flows_.emplace(id, std::move(flow));
+    recompute_rates();
+    schedule_next_completion();
+    return id;
+  }
+
+  Rate host_tx_rate(net::VertexId host) const {
+    Rate total = 0.0;
+    for (const auto& [id, f] : flows_) {
+      if (f.src == host) total += f.rate;
+    }
+    return total;
+  }
+
+  Rate host_rx_rate(net::VertexId host) const {
+    Rate total = 0.0;
+    for (const auto& [id, f] : flows_) {
+      if (f.dst == host) total += f.rate;
+    }
+    return total;
+  }
+
+  std::uint64_t num_completed() const { return completed_; }
+  std::uint64_t num_recomputes() const { return recomputes_; }
+
+ private:
+  struct Flow {
+    net::FlowId id = net::kInvalidFlow;
+    net::VertexId src = net::kNoVertex;
+    net::VertexId dst = net::kNoVertex;
+    Bytes remaining = 0.0;
+    Rate rate = 0.0;
+    Rate cap = 0.0;
+    std::vector<net::LinkId> path;
+  };
+
+  void advance() {
+    const SimTime now = engine_.now();
+    const SimTime dt = now - last_update_;
+    if (dt <= 0.0) {
+      last_update_ = now;
+      return;
+    }
+    for (auto& [id, f] : flows_) {
+      f.remaining -= std::min(f.remaining, f.rate * dt);
+    }
+    last_update_ = now;
+  }
+
+  void recompute_rates() {
+    ++recomputes_;
+    std::fill(link_alloc_.begin(), link_alloc_.end(), 0.0);
+    if (flows_.empty()) return;
+    std::vector<Flow*> unfrozen;
+    unfrozen.reserve(flows_.size());
+    for (auto& [id, f] : flows_) {
+      f.rate = 0.0;
+      unfrozen.push_back(&f);
+    }
+    std::vector<Rate> residual(topo_.num_links());
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      residual[i] = topo_.link(static_cast<net::LinkId>(i)).capacity;
+    }
+    std::vector<int> link_count(topo_.num_links(), 0);
+    auto freeze = [&](Flow* f, Rate rate) {
+      f->rate = std::max(rate, 1e-3);
+      for (const net::LinkId lid : f->path) {
+        residual[static_cast<std::size_t>(lid)] = std::max(
+            0.0, residual[static_cast<std::size_t>(lid)] - f->rate);
+      }
+    };
+    while (!unfrozen.empty()) {
+      std::fill(link_count.begin(), link_count.end(), 0);
+      for (const Flow* f : unfrozen) {
+        for (const net::LinkId lid : f->path) {
+          ++link_count[static_cast<std::size_t>(lid)];
+        }
+      }
+      Rate share = std::numeric_limits<Rate>::infinity();
+      for (std::size_t i = 0; i < link_count.size(); ++i) {
+        if (link_count[i] == 0) continue;
+        share = std::min(share, residual[i] / static_cast<Rate>(link_count[i]));
+      }
+      bool froze_capped = false;
+      for (std::size_t i = 0; i < unfrozen.size();) {
+        if (unfrozen[i]->cap <= share) {
+          freeze(unfrozen[i], unfrozen[i]->cap);
+          unfrozen[i] = unfrozen.back();
+          unfrozen.pop_back();
+          froze_capped = true;
+        } else {
+          ++i;
+        }
+      }
+      if (froze_capped) continue;
+      std::vector<char> is_bottleneck(link_count.size(), 0);
+      for (std::size_t li = 0; li < link_count.size(); ++li) {
+        if (link_count[li] > 0 &&
+            residual[li] / static_cast<Rate>(link_count[li]) <=
+                share * (1.0 + 1e-12)) {
+          is_bottleneck[li] = 1;
+        }
+      }
+      for (std::size_t i = 0; i < unfrozen.size();) {
+        bool on_bottleneck = false;
+        for (const net::LinkId lid : unfrozen[i]->path) {
+          if (is_bottleneck[static_cast<std::size_t>(lid)]) {
+            on_bottleneck = true;
+            break;
+          }
+        }
+        if (on_bottleneck) {
+          freeze(unfrozen[i], share);
+          unfrozen[i] = unfrozen.back();
+          unfrozen.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (const auto& [id, f] : flows_) {
+      for (const net::LinkId lid : f.path) {
+        link_alloc_[static_cast<std::size_t>(lid)] += f.rate;
+      }
+    }
+  }
+
+  void schedule_next_completion() {
+    if (completion_event_ != sim::kInvalidEvent) {
+      engine_.cancel(completion_event_);
+      completion_event_ = sim::kInvalidEvent;
+    }
+    if (flows_.empty()) return;
+    SimTime earliest = std::numeric_limits<SimTime>::infinity();
+    for (const auto& [id, f] : flows_) {
+      earliest = std::min(earliest, f.remaining / f.rate);
+    }
+    completion_event_ = engine_.schedule_in(
+        std::max(earliest, 0.0), [this] { handle_completion_event(); });
+  }
+
+  void handle_completion_event() {
+    completion_event_ = sim::kInvalidEvent;
+    advance();
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->second.remaining <= std::max(1e-6, it->second.rate * 1e-9)) {
+        it = flows_.erase(it);
+        ++completed_;
+      } else {
+        ++it;
+      }
+    }
+    recompute_rates();
+    schedule_next_completion();
+  }
+
+  sim::Engine& engine_;
+  const net::Topology& topo_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t recomputes_ = 0;
+  std::map<net::FlowId, Flow> flows_;
+  SimTime last_update_ = 0.0;
+  sim::EventId completion_event_ = sim::kInvalidEvent;
+  std::vector<Rate> link_alloc_;
+};
+
+// ========================================================== workload ====
+// M sources on one site, N sinks on another, one backbone: a Spark shuffle
+// stage opening every src->dst pair at t=0 in a single event. Sizes vary a
+// few percent so completions stagger into many distinct event times.
+
+struct Shuffle {
+  net::Topology topo;
+  std::vector<net::VertexId> sources;
+  std::vector<net::VertexId> sinks;
+};
+
+Shuffle make_shuffle_topology(int m, int n) {
+  Shuffle s;
+  const auto r1 = s.topo.add_router("r1");
+  const auto r2 = s.topo.add_router("r2");
+  s.topo.add_duplex_link(r1, r2, 100e9, 5e-3);
+  for (int i = 0; i < m; ++i) {
+    s.sources.push_back(s.topo.add_host("src" + std::to_string(i)));
+    s.topo.add_duplex_link(s.sources.back(), r1, 10e9, 1e-4);
+  }
+  for (int j = 0; j < n; ++j) {
+    s.sinks.push_back(s.topo.add_host("dst" + std::to_string(j)));
+    s.topo.add_duplex_link(s.sinks.back(), r2, 10e9, 1e-4);
+  }
+  return s;
+}
+
+Bytes shuffle_size(int i, int j) {
+  // Deterministic per-pair size variation: staggers the completion times
+  // without random draws.
+  return 2e6 * (1.0 + static_cast<double>((13 * i + 7 * j) % 97) / 97.0);
+}
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  SimTime final_sim_time = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t recomputes = 0;
+  Rate scrape_checksum = 0.0;
+};
+
+// Periodically reads every host's tx/rx rate mid-run — the exporter scrape
+// pattern whose cost the per-host flow indexes collapse from O(hosts x
+// flows) to O(flows).
+template <typename ScrapeFn>
+void arm_scrapes(sim::Engine& engine, SimTime interval, int count,
+                 ScrapeFn scrape) {
+  for (int k = 1; k <= count; ++k) {
+    engine.schedule_at(interval * static_cast<double>(k), scrape);
+  }
+}
+
+RunResult run_naive(int m, int n) {
+  Shuffle s = make_shuffle_topology(m, n);
+  sim::Engine engine;
+  NaiveFlowManager fm(engine, s.topo);
+  RunResult out;
+  engine.schedule_at(0.0, [&] {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        fm.start(s.sources[static_cast<std::size_t>(i)],
+                 s.sinks[static_cast<std::size_t>(j)], shuffle_size(i, j));
+      }
+    }
+  });
+  arm_scrapes(engine, 0.05, 20, [&] {
+    for (const auto h : s.sources) out.scrape_checksum += fm.host_tx_rate(h);
+    for (const auto h : s.sinks) out.scrape_checksum += fm.host_rx_rate(h);
+  });
+  const auto wall_begin = std::chrono::steady_clock::now();
+  engine.run();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+  out.final_sim_time = engine.now();
+  out.completed = fm.num_completed();
+  out.recomputes = fm.num_recomputes();
+  return out;
+}
+
+RunResult run_optimized(int m, int n) {
+  Shuffle s = make_shuffle_topology(m, n);
+  sim::Engine engine;
+  net::FlowManager fm(engine, s.topo);
+  auto& registry = obs::MetricsRegistry::global();
+  auto& recompute_counter = registry.counter("lts_net_rate_recomputes_total");
+  registry.set_enabled(true);
+  const double recomputes_before = recompute_counter.value();
+  RunResult out;
+  engine.schedule_at(0.0, [&] {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        fm.start(s.sources[static_cast<std::size_t>(i)],
+                 s.sinks[static_cast<std::size_t>(j)], shuffle_size(i, j),
+                 nullptr);
+      }
+    }
+  });
+  arm_scrapes(engine, 0.05, 20, [&] {
+    for (const auto h : s.sources) out.scrape_checksum += fm.host_tx_rate(h);
+    for (const auto h : s.sinks) out.scrape_checksum += fm.host_rx_rate(h);
+  });
+  const auto wall_begin = std::chrono::steady_clock::now();
+  engine.run();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+  registry.set_enabled(false);
+  out.final_sim_time = engine.now();
+  out.completed = fm.num_completed();
+  out.recomputes = static_cast<std::uint64_t>(
+      std::llround(recompute_counter.value() - recomputes_before));
+  return out;
+}
+
+std::string fmt(double v, const char* spec = "%.4f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  exp::BenchReport report("flow_scale");
+  report.note("workload",
+              "M x N shuffle storm started in one event; sizes vary ~2x; "
+              "20 periodic all-host rate scrapes");
+  report.note("baseline",
+              "pre-overhaul FlowManager: eager recompute per start/"
+              "completion, map storage, O(links) refills, min-scan "
+              "completion tracking");
+
+  AsciiTable table({"flows", "naive (s)", "optimized (s)", "speedup",
+                    "naive recomputes", "opt recomputes", "sim time equal"});
+  const std::vector<std::pair<int, int>> sweep{{10, 10}, {32, 32}, {100, 100}};
+  bool all_match = true;
+  for (const auto& [m, n] : sweep) {
+    const int flows = m * n;
+    const RunResult naive = run_naive(m, n);
+    const RunResult opt = run_optimized(m, n);
+    // The deferred/batched solver must not move a single simulated
+    // timestamp: the drained engines' clocks agree bit-for-bit.
+    const bool match = naive.final_sim_time == opt.final_sim_time &&
+                       naive.completed == opt.completed &&
+                       naive.completed == static_cast<std::uint64_t>(flows);
+    all_match = all_match && match;
+    const double speedup = naive.wall_seconds / opt.wall_seconds;
+    const std::string label = "shuffle_storm/" + std::to_string(flows);
+    report.add(label, "naive_seconds", naive.wall_seconds, "s");
+    report.add(label, "optimized_seconds", opt.wall_seconds, "s");
+    report.add(label, "speedup", speedup);
+    report.add(label, "naive_recomputes",
+               static_cast<double>(naive.recomputes));
+    report.add(label, "optimized_recomputes",
+               static_cast<double>(opt.recomputes));
+    report.add(label, "final_sim_time", opt.final_sim_time, "simulated s");
+    report.add(label, "sim_time_matches_naive", match ? 1.0 : 0.0);
+    table.add_row({std::to_string(flows), fmt(naive.wall_seconds),
+                   fmt(opt.wall_seconds), fmt(speedup, "%.1fx"),
+                   std::to_string(naive.recomputes),
+                   std::to_string(opt.recomputes), match ? "yes" : "NO"});
+  }
+  std::printf("%s", table.render("Flow-solver scale sweep").c_str());
+  report.write("BENCH_flow_scale.json");
+  std::printf("\nwrote BENCH_flow_scale.json\n");
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "ERROR: optimized solver diverged from the naive baseline\n");
+    return 1;
+  }
+  return 0;
+}

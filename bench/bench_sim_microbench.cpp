@@ -2,6 +2,7 @@
 // back the claim that full-scale data collection (3600 jobs) is cheap.
 #include <benchmark/benchmark.h>
 
+#include "exp/benchio.hpp"
 #include "exp/envgen.hpp"
 #include "exp/scenario.hpp"
 #include "net/flow.hpp"
@@ -43,9 +44,13 @@ void BM_FlowFairShareRecompute(benchmark::State& state) {
     fm.start(a, b, 1e12, nullptr);  // long-lived background flows
   }
   for (auto _ : state) {
-    // Adding + cancelling a flow forces two full max-min recomputations.
+    // start/cancel only mark the solver dirty now; observing a host rate
+    // forces the flush, so each iteration still measures two full max-min
+    // recomputations over n_flows.
     const auto id = fm.start(a, b, 1e12, nullptr);
+    benchmark::DoNotOptimize(fm.host_tx_rate(a));
     fm.cancel(id);
+    benchmark::DoNotOptimize(fm.host_tx_rate(a));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
 }
@@ -132,6 +137,32 @@ void BM_EnvWarmupObserved(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvWarmupObserved)->Unit(benchmark::kMillisecond);
 
+// Console output for humans plus a BENCH_sim_microbench.json artifact for
+// CI, through the same exp::BenchReport writer bench_flow_scale uses.
+class JsonWriterReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonWriterReporter(exp::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      report_.add(run.benchmark_name(), "real_time", run.GetAdjustedRealTime(),
+                  benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  exp::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lts::exp::BenchReport report("sim_microbench");
+  JsonWriterReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.write("BENCH_sim_microbench.json");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "exp/benchio.hpp"
+
+#include <fstream>
+
+#include "util/common.hpp"
+
+namespace lts::exp {
+
+void BenchReport::add(const std::string& bench, const std::string& metric,
+                      double value, const std::string& unit) {
+  rows_.push_back(Row{bench, metric, value, unit});
+}
+
+void BenchReport::note(const std::string& key, const std::string& value) {
+  notes_.emplace_back(key, value);
+}
+
+Json BenchReport::to_json() const {
+  Json j = Json::object();
+  j["name"] = name_;
+  Json notes = Json::object();
+  for (const auto& [key, value] : notes_) notes[key] = value;
+  j["notes"] = std::move(notes);
+  Json rows = Json::array();
+  for (const auto& row : rows_) {
+    Json r = Json::object();
+    r["bench"] = row.bench;
+    r["metric"] = row.metric;
+    r["value"] = row.value;
+    if (!row.unit.empty()) r["unit"] = row.unit;
+    rows.push_back(std::move(r));
+  }
+  j["results"] = std::move(rows);
+  return j;
+}
+
+void BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  LTS_REQUIRE(out.good(), "BenchReport: cannot open for writing: " + path);
+  out << to_json().dump(2) << "\n";
+  LTS_REQUIRE(out.good(), "BenchReport: write failed: " + path);
+}
+
+}  // namespace lts::exp

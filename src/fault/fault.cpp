@@ -159,7 +159,7 @@ void FaultInjector::crash_node(const std::string& node) {
   // (they consult node_down before scraping).
   cut_link_capacity(cluster_.node_uplink(idx), 0.0);
   cut_link_capacity(cluster_.node_downlink(idx), 0.0);
-  cluster_.flows().refresh();
+  cluster_.flows().invalidate_rates();
   if (api_ != nullptr) api_->set_node_ready(node, false);
 }
 
@@ -174,7 +174,7 @@ void FaultInjector::recover_node(const std::string& node) {
   // Rate queries must treat that as a counter reset (Tsdb::rate does), not
   // as negative throughput.
   cluster_.flows().reset_host_counters(cluster_.node(idx).vertex());
-  cluster_.flows().refresh();
+  cluster_.flows().invalidate_rates();
   if (api_ != nullptr) api_->set_node_ready(node, true);
 }
 
@@ -186,7 +186,7 @@ void FaultInjector::degrade_wan_link(const std::string& site_a,
   const net::LinkId fwd = wan_forward_link(site_a, site_b);
   cut_link_capacity(fwd, 1.0 - capacity_cut_frac);
   cut_link_capacity(fwd + 1, 1.0 - capacity_cut_frac);
-  cluster_.flows().refresh();
+  cluster_.flows().invalidate_rates();
 }
 
 void FaultInjector::spike_wan_rtt(const std::string& site_a,
@@ -196,7 +196,7 @@ void FaultInjector::spike_wan_rtt(const std::string& site_a,
   const net::LinkId fwd = wan_forward_link(site_a, site_b);
   add_link_delay(fwd, extra_one_way_delay);
   add_link_delay(fwd + 1, extra_one_way_delay);
-  cluster_.flows().refresh();
+  cluster_.flows().invalidate_rates();
 }
 
 void FaultInjector::restore_wan_link(const std::string& site_a,
@@ -204,7 +204,7 @@ void FaultInjector::restore_wan_link(const std::string& site_a,
   const net::LinkId fwd = wan_forward_link(site_a, site_b);
   restore_link(fwd);
   restore_link(fwd + 1);
-  cluster_.flows().refresh();
+  cluster_.flows().invalidate_rates();
 }
 
 void FaultInjector::partition_site(const std::string& site) {
@@ -216,7 +216,7 @@ void FaultInjector::partition_site(const std::string& site) {
     touched = true;
   }
   LTS_REQUIRE(touched, "fault: no WAN links touch site: " + site);
-  cluster_.flows().refresh();
+  cluster_.flows().invalidate_rates();
 }
 
 void FaultInjector::heal_site(const std::string& site) {
@@ -225,7 +225,7 @@ void FaultInjector::heal_site(const std::string& site) {
     restore_link(wan.forward);
     restore_link(wan.forward + 1);
   }
-  cluster_.flows().refresh();
+  cluster_.flows().invalidate_rates();
 }
 
 void FaultInjector::silence_exporter(const std::string& node) {

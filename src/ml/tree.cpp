@@ -59,13 +59,14 @@ void DecisionTreeRegressor::fit_on(const Dataset& data,
   nodes_.clear();
   importance_.assign(num_features_, 0.0);
   std::vector<std::size_t> working(rows.begin(), rows.end());
-  build(data, working, 0, working.size(), 0, rng);
+  SplitScratch scratch;
+  build(data, working, 0, working.size(), 0, rng, scratch);
 }
 
 int DecisionTreeRegressor::build(const Dataset& data,
                                  std::vector<std::size_t>& rows,
                                  std::size_t begin, std::size_t end,
-                                 int depth, Rng& rng) {
+                                 int depth, Rng& rng, SplitScratch& scratch) {
   const std::size_t n = end - begin;
   double sum = 0.0;
   for (std::size_t i = begin; i < end; ++i) sum += data.target(rows[i]);
@@ -85,7 +86,7 @@ int DecisionTreeRegressor::build(const Dataset& data,
 
   const auto split =
       best_split(data, std::span<const std::size_t>(
-                           rows.data() + begin, n), rng);
+                           rows.data() + begin, n), rng, scratch);
   if (!split.has_value()) return node_index;
 
   // Partition rows in place around the threshold.
@@ -102,8 +103,8 @@ int DecisionTreeRegressor::build(const Dataset& data,
 
   importance_[static_cast<std::size_t>(split->feature)] += split->gain;
 
-  const int left = build(data, rows, begin, mid, depth + 1, rng);
-  const int right = build(data, rows, mid, end, depth + 1, rng);
+  const int left = build(data, rows, begin, mid, depth + 1, rng, scratch);
+  const int right = build(data, rows, mid, end, depth + 1, rng, scratch);
   auto& node = nodes_[static_cast<std::size_t>(node_index)];
   node.feature = split->feature;
   node.threshold = split->threshold;
@@ -114,8 +115,8 @@ int DecisionTreeRegressor::build(const Dataset& data,
 
 std::optional<DecisionTreeRegressor::Split>
 DecisionTreeRegressor::best_split(const Dataset& data,
-                                  std::span<const std::size_t> rows,
-                                  Rng& rng) const {
+                                  std::span<const std::size_t> rows, Rng& rng,
+                                  SplitScratch& scratch) const {
   const std::size_t n = rows.size();
   double sum = 0.0, sumsq = 0.0;
   for (const std::size_t r : rows) {
@@ -127,18 +128,20 @@ DecisionTreeRegressor::best_split(const Dataset& data,
   if (parent_sse <= 1e-12) return std::nullopt;  // pure node
 
   // Candidate features: all, or a fresh random subset (random forest mode).
-  std::vector<std::size_t> features;
+  // Both buffers live in `scratch`, reused across every node of the fit.
+  std::vector<std::size_t>& features = scratch.features;
   if (params_.max_features > 0 &&
       static_cast<std::size_t>(params_.max_features) < num_features_) {
-    features = rng.sample_without_replacement(
-        num_features_, static_cast<std::size_t>(params_.max_features));
+    rng.sample_without_replacement(
+        num_features_, static_cast<std::size_t>(params_.max_features),
+        features);
   } else {
     features.resize(num_features_);
     std::iota(features.begin(), features.end(), std::size_t{0});
   }
 
   Split best;
-  std::vector<std::pair<double, double>> vals;  // (x, y)
+  std::vector<std::pair<double, double>>& vals = scratch.vals;
   vals.reserve(n);
   const auto min_leaf = static_cast<std::size_t>(params_.min_samples_leaf);
   for (const std::size_t f : features) {

@@ -65,11 +65,20 @@ class DecisionTreeRegressor : public Regressor {
     double gain = 0.0;  // SSE decrease
   };
 
+  // Reusable per-fit buffers: best_split runs once per tree node, and the
+  // candidate-feature list + sorted (x, y) column would otherwise be
+  // allocated fresh at every node.
+  struct SplitScratch {
+    std::vector<std::size_t> features;
+    std::vector<std::pair<double, double>> vals;  // (x, y)
+  };
+
   int build(const Dataset& data, std::vector<std::size_t>& rows,
-            std::size_t begin, std::size_t end, int depth, Rng& rng);
+            std::size_t begin, std::size_t end, int depth, Rng& rng,
+            SplitScratch& scratch);
   std::optional<Split> best_split(const Dataset& data,
-                                  std::span<const std::size_t> rows,
-                                  Rng& rng) const;
+                                  std::span<const std::size_t> rows, Rng& rng,
+                                  SplitScratch& scratch) const;
 
   TreeParams params_;
   std::uint64_t seed_;

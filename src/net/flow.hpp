@@ -8,6 +8,15 @@
 // physical mechanism behind the paper's observation that network telemetry
 // (RTT, tx/rx rates) predicts job completion time.
 //
+// Recomputation is deferred and batched: start()/cancel()/invalidate_rates()
+// only mark the allocation stale and arm a same-timestamp engine hook, so a
+// storm of same-instant mutations (a Spark stage opening M×N shuffle flows)
+// pays one progressive fill instead of one per call. This is observationally
+// identical to eager recomputation because no simulated time elapses between
+// the mutations and the hook: byte accounting over a zero-length interval is
+// unaffected by which intermediate rates were in force, and every accessor
+// that exposes rates flushes the pending recompute first.
+//
 // The manager also maintains cumulative per-host transmit/receive byte
 // counters (what node-exporter exposes as NIC counters) and an instantaneous
 // utilization-dependent queueing-delay estimate per link (what inflates the
@@ -18,7 +27,6 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -62,23 +70,30 @@ class FlowManager {
 
   /// Starts a transfer of `size` bytes from src to dst. `on_complete` fires
   /// (via the engine, at the completion instant) once the last byte is
-  /// delivered. Returns a handle usable with cancel()/info().
+  /// delivered. Returns a handle usable with cancel()/info(). The rate
+  /// recompute is deferred to a same-timestamp hook (or the first rate
+  /// observation, whichever comes first), so batches of starts at one
+  /// event time share a single progressive fill.
   FlowId start(VertexId src, VertexId dst, Bytes size,
                std::function<void()> on_complete);
 
   /// Aborts a flow; its callback never fires. No-op if already finished.
+  /// Deferred-batched like start().
   void cancel(FlowId id);
 
-  /// Re-runs the max-min fair allocation against the topology's *current*
-  /// link capacities and reschedules the pending completion. Must be called
-  /// after mutating link attributes (Topology::set_link_capacity /
-  /// set_link_prop_delay), which the fault injector does mid-run. Byte
-  /// accounting up to now uses the old rates, as physics requires.
-  void refresh();
+  /// Marks the max-min allocation stale against the topology's *current*
+  /// link capacities; the next same-timestamp hook (or rate observation)
+  /// re-runs the solver and reschedules the pending completion. Must be
+  /// called after mutating link attributes (Topology::set_link_capacity /
+  /// set_link_prop_delay), which the fault injector does mid-run — several
+  /// same-instant calls (e.g. a site partition cutting many links) coalesce
+  /// into one recompute. Byte accounting up to now uses the old rates, as
+  /// physics requires.
+  void invalidate_rates();
 
-  bool active(FlowId id) const { return flows_.count(id) > 0; }
+  bool active(FlowId id) const { return find_slot(id) != kNoSlot; }
   FlowInfo info(FlowId id) const;
-  std::size_t num_active() const { return flows_.size(); }
+  std::size_t num_active() const { return by_id_.size(); }
   std::uint64_t num_completed() const { return completed_; }
 
   /// Instantaneous allocated-rate / capacity for a link, in [0, 1].
@@ -97,7 +112,7 @@ class FlowManager {
 
   /// Cumulative bytes transmitted / received by a host since construction
   /// (or since its last counter reset). Accurate as of the current engine
-  /// time.
+  /// time. O(flows terminating at the host) via the per-host flow index.
   Bytes host_tx_bytes(VertexId host) const;
   Bytes host_rx_bytes(VertexId host) const;
 
@@ -108,16 +123,20 @@ class FlowManager {
   void reset_host_counters(VertexId host);
 
   /// Sum of current send rates of flows originating at / arriving at host.
+  /// O(flows on that host), not O(all flows).
   Rate host_tx_rate(VertexId host) const;
   Rate host_rx_rate(VertexId host) const;
 
   /// Number of active flows terminating at this host (either direction) —
   /// the passive flow-level statistic of the paper's §8 telemetry wishlist.
+  /// O(1) from the per-host index counters.
   std::size_t host_active_flows(VertexId host) const;
 
   const Topology& topology() const { return topo_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   struct Flow {
     FlowId id = kInvalidFlow;
     VertexId src = kNoVertex;
@@ -126,12 +145,46 @@ class FlowManager {
     Bytes remaining = 0.0;
     Rate rate = 0.0;
     Rate cap = 0.0;  // tcp window / base rtt
-    std::vector<LinkId> path;
+    // Path span into path_arena_ (one contiguous block per flow).
+    std::uint32_t path_begin = 0;
+    std::uint32_t path_len = 0;
+    // Intrusive per-host list links (slot indices): the tx list of src and
+    // the rx list of dst. Tail insertion keeps both lists in FlowId order,
+    // so per-host floating-point sums add in the same order as a full scan
+    // in id order would.
+    std::uint32_t tx_prev = kNoSlot;
+    std::uint32_t tx_next = kNoSlot;
+    std::uint32_t rx_prev = kNoSlot;
+    std::uint32_t rx_next = kNoSlot;
     std::function<void()> on_complete;
   };
 
+  /// Predicted time-to-completion at current rates, keyed for the min-heap
+  /// that replaces the O(flows) min-scan when (re)scheduling the completion
+  /// event. Rebuilt by every recompute, so entries never go stale.
+  struct HeapEntry {
+    SimTime eta = 0.0;  // remaining / rate, relative to the last recompute
+    std::uint32_t slot = kNoSlot;
+  };
+
   /// Applies elapsed time to all flows (byte accounting) up to engine.now().
+  /// Always safe while dirty: a stale allocation implies the last mutation
+  /// happened at the current instant, so the elapsed interval is zero.
   void advance();
+
+  /// Marks the allocation stale and arms the same-timestamp flush hook.
+  /// Idempotent; the hook runs after every already-queued event at this
+  /// instant, which is what batches same-time mutation storms.
+  void mark_dirty();
+
+  /// Runs the deferred recompute now (byte accounting first, at the old
+  /// rates) and reschedules the completion event. No-op when clean.
+  void flush();
+
+  /// Accessors that expose rates call this so deferred state is never
+  /// observable. Logically const: flushing only materializes the allocation
+  /// the eager solver would already have computed.
+  void ensure_fresh() const { const_cast<FlowManager*>(this)->flush(); }
 
   /// Progressive-filling max-min fair allocation with per-flow caps.
   /// Dispatches to the core solver, adding instrumentation when the
@@ -141,10 +194,21 @@ class FlowManager {
   /// The solver proper; returns the number of filling rounds it ran.
   std::size_t recompute_rates_core();
 
-  /// (Re)schedules the single pending completion event.
+  /// (Re)schedules the single pending completion event from the heap top.
   void schedule_next_completion();
 
   void handle_completion_event();
+
+  /// Slot index for a live flow id, or kNoSlot. Binary search over the
+  /// id-ordered index.
+  std::uint32_t find_slot(FlowId id) const;
+
+  std::uint32_t acquire_slot();
+  /// Unlinks a flow from both host lists and returns its slot to the free
+  /// list. Does not touch by_id_ (callers compact that themselves).
+  void release_slot(std::uint32_t slot);
+  /// Rewrites path_arena_ without the dead spans once they dominate it.
+  void maybe_compact_arena();
 
   /// Outlined so an unobserved recompute pays only a relaxed load and a
   /// predictable branch for its instrumentation.
@@ -161,12 +225,51 @@ class FlowManager {
 
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
-  // std::map keeps iteration order deterministic across platforms.
-  std::map<FlowId, Flow> flows_;
+
+  // Flat slot-map flow storage: flows live in slots_, dead slots are
+  // recycled LIFO, and by_id_ lists live slots in ascending FlowId order —
+  // the deterministic iteration order every solver pass and byte-accounting
+  // sweep uses (ids are handed out monotonically, so appends keep it
+  // sorted without any per-insert work).
+  std::vector<Flow> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> by_id_;
+  // All live flows' paths, one contiguous span each.
+  std::vector<LinkId> path_arena_;
+  std::size_t live_path_words_ = 0;
+
+  // Per-host intrusive flow lists (heads/tails hold slot indices).
+  std::vector<std::uint32_t> tx_head_;
+  std::vector<std::uint32_t> tx_tail_;
+  std::vector<std::uint32_t> rx_head_;
+  std::vector<std::uint32_t> rx_tail_;
+  std::vector<std::uint32_t> tx_count_;
+  std::vector<std::uint32_t> rx_count_;
+
   SimTime last_update_ = 0.0;
   sim::EventId completion_event_ = sim::kInvalidEvent;
+  sim::EventId flush_event_ = sim::kInvalidEvent;
+  bool dirty_ = false;
 
-  std::vector<Rate> link_alloc_;  // per link, recomputed
+  // Epoch-stamped per-link solver state: instead of O(links) refills per
+  // round, a link's residual/count/bottleneck-mark entries are valid only
+  // when their stamp matches the current fill/round epoch, making per-round
+  // work O(unfrozen flows × path length).
+  std::uint64_t epoch_ = 0;
+  std::uint64_t last_fill_epoch_ = 0;
+  std::vector<Rate> link_alloc_;
+  std::vector<std::uint64_t> alloc_epoch_;
+  std::vector<Rate> residual_;
+  std::vector<std::uint64_t> residual_epoch_;
+  std::vector<int> link_count_;
+  std::vector<std::uint64_t> count_epoch_;
+  std::vector<std::uint64_t> bottleneck_epoch_;
+  // Solver scratch, reused across recomputes to stay allocation-free on the
+  // hot path.
+  std::vector<LinkId> touched_links_;
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<HeapEntry> completion_heap_;
+
   mutable std::vector<Bytes> host_tx_;
   mutable std::vector<Bytes> host_rx_;
 };

@@ -98,6 +98,9 @@ void SparkApp::schedule(SimTime delay, std::function<void()> fn) {
 
 void SparkApp::start_flow(std::size_t src_node, std::size_t dst_node,
                           Bytes bytes, std::function<void()> fn) {
+  // FlowManager::start defers the max-min recompute to a same-timestamp
+  // hook, so the M×N flows a shuffle stage opens in one event share a
+  // single progressive fill instead of paying one each.
   auto idp = std::make_shared<net::FlowId>(net::kInvalidFlow);
   const net::FlowId id = cluster_.flows().start(
       cluster_.node(src_node).vertex(), cluster_.node(dst_node).vertex(),
@@ -257,13 +260,11 @@ void SparkApp::pump_slots() {
   // for its next task from the driver).
   for (std::size_t s = 0; s < stage_state_.size(); ++s) {
     auto& st = stage_state_[s];
-    if (!st.started || st.finished || st.pending_tasks.empty()) continue;
-    for (std::size_t e = 0; e < executors_.size() && !st.pending_tasks.empty();
-         ++e) {
+    if (!st.started || st.finished || !st.has_pending()) continue;
+    for (std::size_t e = 0; e < executors_.size() && st.has_pending(); ++e) {
       auto& exec = executors_[e];
-      while (exec.running < exec.slots && !st.pending_tasks.empty()) {
-        const int task = st.pending_tasks.front();
-        st.pending_tasks.erase(st.pending_tasks.begin());
+      while (exec.running < exec.slots && st.has_pending()) {
+        const int task = st.pending_tasks[st.next_pending++];
         ++st.tasks_on_executor[e];
         ++exec.running;
         const int stage_id = static_cast<int>(s);

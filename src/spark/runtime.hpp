@@ -122,8 +122,14 @@ class SparkApp {
     int reports_remaining = 0;
     bool started = false;
     bool finished = false;
-    std::vector<int> pending_tasks;      // not yet assigned to a slot
+    // Tasks not yet assigned to a slot: pending_tasks[next_pending..] —
+    // a cursor instead of front-erase keeps dispatch FIFO without the
+    // O(tasks²) shuffle-down of erasing from the head.
+    std::vector<int> pending_tasks;
+    std::size_t next_pending = 0;
     std::vector<int> tasks_on_executor;  // per executor, assigned count
+
+    bool has_pending() const { return next_pending < pending_tasks.size(); }
   };
 
   // -- resource-tracked primitives (all cancellable via cancel()) --

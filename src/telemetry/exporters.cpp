@@ -45,6 +45,9 @@ void NodeExporter::scrape() {
     if (options_.counter_noise_frac <= 0.0) return v;
     return v * (1.0 + options_.counter_noise_frac * rng_.normal());
   };
+  // Per-host NIC counters and flow gauges resolve through the FlowManager's
+  // intrusive per-host indexes: each scrape costs O(flows touching this
+  // host), so a full fleet sweep is O(total flows), not O(hosts x flows).
   samples.emplace_back(
       kTxBytesMetric,
       noisy_counter(cluster_.flows().host_tx_bytes(node.vertex())));

@@ -154,18 +154,27 @@ class Rng {
   /// Samples k distinct indices from [0, n) without replacement.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k) {
+    std::vector<std::size_t> pool;
+    sample_without_replacement(n, k, pool);
+    return pool;
+  }
+
+  /// Allocation-reusing overload: fills `out` with the sample. Draws the
+  /// identical sequence as the returning overload (same generator calls,
+  /// same swaps), so callers can switch without perturbing seeded results.
+  void sample_without_replacement(std::size_t n, std::size_t k,
+                                  std::vector<std::size_t>& out) {
     LTS_ASSERT(k <= n);
-    std::vector<std::size_t> pool(n);
-    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
       const auto j = static_cast<std::size_t>(
           uniform_int(static_cast<std::int64_t>(i),
                       static_cast<std::int64_t>(n) - 1));
       using std::swap;
-      swap(pool[i], pool[j]);
+      swap(out[i], out[j]);
     }
-    pool.resize(k);
-    return pool;
+    out.resize(k);
   }
 
  private:

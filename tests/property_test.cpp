@@ -2,7 +2,10 @@
 // swept with parameterized gtest suites.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <numeric>
 
 #include "cluster/cpu.hpp"
@@ -272,14 +275,14 @@ TEST_P(MaxMinPropertyTest, InvariantsSurviveCapacityCutsAndRestore) {
     saved.emplace_back(l, original);
     rt.topo.set_link_capacity(l, original * rng.uniform(0.2, 0.7));
   }
-  fm.refresh();
+  fm.invalidate_rates();
   expect_max_min_fair(fm, rt.topo, ids, options.tcp_window_bytes);
 
   engine.run_until(1.5);
   for (const auto& [l, original] : saved) {
     rt.topo.set_link_capacity(l, original);
   }
-  fm.refresh();
+  fm.invalidate_rates();
   expect_max_min_fair(fm, rt.topo, ids, options.tcp_window_bytes);
 
   // With capacities restored every transfer must finish, delivering exactly
@@ -293,6 +296,162 @@ TEST_P(MaxMinPropertyTest, InvariantsSurviveCapacityCutsAndRestore) {
   }
   EXPECT_NEAR(total_tx, total_requested, total_requested * 1e-9);
   EXPECT_NEAR(total_rx, total_requested, total_requested * 1e-9);
+}
+
+// Reference progressive-filling solver: the textbook algorithm written the
+// straightforward way — map-ordered flows, full per-round link scans, dense
+// per-round count/bottleneck arrays. The production solver reaches the same
+// allocation through epoch-stamped sparse updates over a path arena, so the
+// two must agree not approximately but BIT-FOR-BIT: every freeze happens in
+// the same order with the same operands, hence identical doubles.
+struct RefFlow {
+  std::vector<net::LinkId> path;
+  Rate cap = 0.0;
+  Rate rate = 0.0;
+};
+
+void naive_max_min_rates(const net::Topology& topo,
+                         std::map<net::FlowId, RefFlow>& flows) {
+  if (flows.empty()) return;
+  std::vector<RefFlow*> unfrozen;
+  unfrozen.reserve(flows.size());
+  for (auto& [id, f] : flows) {
+    f.rate = 0.0;
+    unfrozen.push_back(&f);
+  }
+  std::vector<Rate> residual(topo.num_links());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = topo.link(static_cast<net::LinkId>(i)).capacity;
+  }
+  std::vector<int> link_count(topo.num_links(), 0);
+  auto freeze = [&](RefFlow* f, Rate rate) {
+    f->rate = std::max(rate, 1e-3);
+    for (const net::LinkId lid : f->path) {
+      residual[static_cast<std::size_t>(lid)] =
+          std::max(0.0, residual[static_cast<std::size_t>(lid)] - f->rate);
+    }
+  };
+  while (!unfrozen.empty()) {
+    std::fill(link_count.begin(), link_count.end(), 0);
+    for (const RefFlow* f : unfrozen) {
+      for (const net::LinkId lid : f->path) {
+        ++link_count[static_cast<std::size_t>(lid)];
+      }
+    }
+    Rate share = std::numeric_limits<Rate>::infinity();
+    for (std::size_t i = 0; i < link_count.size(); ++i) {
+      if (link_count[i] == 0) continue;
+      share = std::min(share, residual[i] / static_cast<Rate>(link_count[i]));
+    }
+    bool froze_capped = false;
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      if (unfrozen[i]->cap <= share) {
+        freeze(unfrozen[i], unfrozen[i]->cap);
+        unfrozen[i] = unfrozen.back();
+        unfrozen.pop_back();
+        froze_capped = true;
+      } else {
+        ++i;
+      }
+    }
+    if (froze_capped) continue;
+    std::vector<char> is_bottleneck(link_count.size(), 0);
+    for (std::size_t li = 0; li < link_count.size(); ++li) {
+      if (link_count[li] > 0 &&
+          residual[li] / static_cast<Rate>(link_count[li]) <=
+              share * (1.0 + 1e-12)) {
+        is_bottleneck[li] = 1;
+      }
+    }
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      bool on_bottleneck = false;
+      for (const net::LinkId lid : unfrozen[i]->path) {
+        if (is_bottleneck[static_cast<std::size_t>(lid)]) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (on_bottleneck) {
+        freeze(unfrozen[i], share);
+        unfrozen[i] = unfrozen.back();
+        unfrozen.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+TEST_P(MaxMinPropertyTest, OptimizedSolverMatchesNaiveSolverBitForBit) {
+  Rng rng(GetParam() ^ 0x5555);
+  sim::Engine engine;
+  RandomTopo rt = make_random_topology(rng);
+  net::FlowOptions options;
+  net::FlowManager fm(engine, rt.topo, options);
+  std::map<net::FlowId, RefFlow> ref;
+
+  auto check = [&] {
+    naive_max_min_rates(rt.topo, ref);
+    for (const auto& [id, f] : ref) {
+      ASSERT_TRUE(fm.active(id));
+      // Exact double equality, not EXPECT_NEAR: the overhaul's contract is
+      // that it changed the solver's bookkeeping, not its arithmetic.
+      EXPECT_EQ(fm.info(id).rate, f.rate) << "flow " << id;
+    }
+    // Per-host intrusive indexes must reproduce the FlowId-ordered sums.
+    for (const auto h : rt.hosts) {
+      Rate tx = 0.0, rx = 0.0;
+      for (const auto& [id, f] : ref) {
+        const auto info = fm.info(id);
+        if (info.src == h) tx += f.rate;
+        if (info.dst == h) rx += f.rate;
+      }
+      EXPECT_EQ(fm.host_tx_rate(h), tx) << "host " << h;
+      EXPECT_EQ(fm.host_rx_rate(h), rx) << "host " << h;
+    }
+  };
+
+  // Waves of starts, cancels, and capacity changes; rates are compared
+  // after each wave (fm.info flushes the deferred recompute).
+  std::vector<net::FlowId> live;
+  for (int wave = 0; wave < 6; ++wave) {
+    const int n_starts = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < n_starts; ++i) {
+      const auto src =
+          static_cast<std::size_t>(rng.uniform_int(0, rt.hosts.size() - 1));
+      auto dst =
+          static_cast<std::size_t>(rng.uniform_int(0, rt.hosts.size() - 2));
+      if (dst >= src) ++dst;
+      // Effectively infinite transfers: the reference tracks no byte
+      // progress, so nothing may complete under it.
+      const auto id = fm.start(rt.hosts[src], rt.hosts[dst], 1e15, nullptr);
+      RefFlow rf;
+      rf.path = rt.topo.route(rt.hosts[src], rt.hosts[dst]);
+      rf.cap = options.tcp_window_bytes /
+               std::max(fm.base_rtt(rt.hosts[src], rt.hosts[dst]), 1e-6);
+      ref.emplace(id, std::move(rf));
+      live.push_back(id);
+    }
+    if (wave % 2 == 1 && live.size() > 2) {
+      const int n_cancels = static_cast<int>(
+          rng.uniform_int(1, static_cast<std::int64_t>(live.size() / 2)));
+      for (int c = 0; c < n_cancels; ++c) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        fm.cancel(live[pick]);
+        ref.erase(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    if (wave == 3) {
+      const auto l = static_cast<net::LinkId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(rt.topo.num_links()) - 1));
+      rt.topo.set_link_capacity(l, rt.topo.link(l).capacity * 0.4);
+      fm.invalidate_rates();
+    }
+    check();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinPropertyTest,
