@@ -52,13 +52,30 @@ LtsScheduler::LtsScheduler(TelemetryFetcher fetcher,
   }
 }
 
+void LtsScheduler::set_model(std::shared_ptr<const ml::Regressor> model) {
+  LTS_REQUIRE(model != nullptr, "LtsScheduler::set_model: null model");
+  LTS_REQUIRE(model->is_fitted(),
+              "LtsScheduler::set_model: model must be fitted");
+  const std::lock_guard<std::mutex> lock(model_mutex_);
+  model_ = std::move(model);
+}
+
+std::shared_ptr<const ml::Regressor> LtsScheduler::current_model() const {
+  const std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
 const ml::Regressor& LtsScheduler::model() const {
+  // Reference accessor for synchronous inspection (CLI, tests); callers
+  // that might race a hot-swap should hold current_model() instead.
+  const std::lock_guard<std::mutex> lock(model_mutex_);
   LTS_REQUIRE(model_ != nullptr, "LtsScheduler: no model");
   return *model_;
 }
 
 bool LtsScheduler::has_usable_model() const {
-  return model_ != nullptr && model_->is_fitted();
+  const auto model = current_model();
+  return model != nullptr && model->is_fitted();
 }
 
 Decision LtsScheduler::schedule(const spark::JobConfig& config,
@@ -79,6 +96,10 @@ Decision LtsScheduler::schedule_from_snapshot(
   obs::Tracer& tracer = obs::Tracer::global();
   auto& metrics = SchedulerMetrics::get();
   metrics.decisions.inc();
+  // One pointer snapshot per decision: every node in this ranking is
+  // scored by the same model even if a hot-swap lands mid-decision.
+  const std::shared_ptr<const ml::Regressor> model = current_model();
+  const bool model_usable = model != nullptr && model->is_fitted();
   if (fallback_.enabled) {
     std::size_t fresh = 0;
     for (const auto& node : snapshot.nodes) {
@@ -89,7 +110,7 @@ Decision LtsScheduler::schedule_from_snapshot(
         static_cast<double>(fresh) >=
             fallback_.min_fresh_fraction *
                 static_cast<double>(snapshot.nodes.size());
-    if (!has_usable_model() || !snapshot_trusted) {
+    if (!model_usable || !snapshot_trusted) {
       metrics.fallbacks.inc();
       Decision decision = fallback_rank(snapshot);
       tracer.phase("rank", snapshot.at);
@@ -111,10 +132,10 @@ Decision LtsScheduler::schedule_from_snapshot(
     const auto& node = snapshot.nodes[i];
     double score;
     if (risk_aversion_ > 0.0) {
-      const auto p = model_->predict_with_uncertainty(rows[i]);
+      const auto p = model->predict_with_uncertainty(rows[i]);
       score = p.mean + risk_aversion_ * p.stddev;
     } else {
-      score = model_->predict_row(rows[i]);
+      score = model->predict_row(rows[i]);
     }
     if (fallback_.enabled && fallback_.demote_stale && node.stale) {
       score += kStaleDemotionPenalty;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/decision.hpp"
@@ -66,6 +67,16 @@ class LtsScheduler {
                              const std::string& job_name,
                              const Decision& decision) const;
 
+  /// Atomically replaces the serving model (the online-retraining hot
+  /// swap). `model` must be fitted and non-null: a failed refit keeps the
+  /// previous model by simply never calling this. In-flight decisions are
+  /// unaffected — each decision snapshots the pointer once on entry and
+  /// scores every candidate node with that same model.
+  void set_model(std::shared_ptr<const ml::Regressor> model);
+
+  /// The currently-serving model pointer (may be null in fallback mode).
+  std::shared_ptr<const ml::Regressor> current_model() const;
+
   const TelemetryFetcher& fetcher() const { return fetcher_; }
   const ml::Regressor& model() const;
   bool has_usable_model() const;
@@ -79,6 +90,9 @@ class LtsScheduler {
   Decision fallback_rank(const telemetry::ClusterSnapshot& snapshot) const;
 
   TelemetryFetcher fetcher_;
+  /// Guards model_ only: decisions copy the shared_ptr once, hot-swaps
+  /// replace it. Everything else is immutable after construction.
+  mutable std::mutex model_mutex_;
   std::shared_ptr<const ml::Regressor> model_;
   FeatureSet features_;
   double risk_aversion_;

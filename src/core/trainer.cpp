@@ -19,6 +19,10 @@ ml::Dataset Trainer::dataset_from_log(const CsvTable& log, FeatureSet set) {
 std::unique_ptr<ml::Regressor> Trainer::train(const std::string& model_name,
                                               const ml::Dataset& data,
                                               const Json& params) {
+  LTS_REQUIRE(params.is_null() || params.is_object(),
+              "Trainer::train: params must be a JSON object or null "
+              "(malformed hyperparameters are not silently replaced "
+              "with defaults)");
   const Json effective =
       params.is_object() ? params : default_params(model_name);
   auto model = ml::create_regressor(model_name, effective);
@@ -31,6 +35,24 @@ TrainReport Trainer::train_and_evaluate(const std::string& model_name,
                                         double test_fraction,
                                         std::uint64_t seed, const Json& params,
                                         std::unique_ptr<ml::Regressor>* out) {
+  // Mirror Dataset::train_test_split's feasibility check so a too-small
+  // dataset (routine for early retraining windows) reports a skip instead
+  // of tripping its hard LTS_REQUIRE.
+  const auto test_count = static_cast<std::size_t>(std::max(
+      1.0, test_fraction * static_cast<double>(data.size())));
+  // Also skip when the holdout would leave fewer than two training rows —
+  // no regressor can fit on one row, so that split is infeasible too.
+  if (data.size() < 2 || test_count >= data.size() ||
+      data.size() - test_count < 2) {
+    TrainReport skip;
+    skip.model_name = model_name;
+    skip.train_rows = data.size();
+    skip.skipped = true;
+    skip.skip_reason = "dataset too small to split (" +
+                       std::to_string(data.size()) + " rows)";
+    return skip;
+  }
+
   Rng rng(seed);
   auto [train_set, test_set] = data.train_test_split(test_fraction, rng);
   auto model = train(model_name, train_set, params);

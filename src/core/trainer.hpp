@@ -23,6 +23,11 @@ struct TrainReport {
   double test_rmse = 0.0;
   double test_mae = 0.0;
   double test_r2 = 0.0;
+  /// True when the dataset was too small to split: no model was trained,
+  /// the metrics are meaningless, and `skip_reason` says why. Early online
+  /// retraining windows hit this routinely; it must not be fatal.
+  bool skipped = false;
+  std::string skip_reason;
 };
 
 class Trainer {
@@ -34,11 +39,17 @@ class Trainer {
       const CsvTable& log, FeatureSet set = FeatureSet::kTable1);
 
   /// Fits a fresh model of `model_name` (registry name) on `data`.
+  /// `params` must be a JSON object (hyperparameter overrides) or null
+  /// (use default_params); any other JSON type throws — a malformed
+  /// hyperparameter file must fail loudly, not silently train on defaults.
   static std::unique_ptr<ml::Regressor> train(
       const std::string& model_name, const ml::Dataset& data,
       const Json& params = Json());
 
   /// Train/holdout split + fit + metrics, the honest-evaluation path.
+  /// When `data` is too small to split, returns a report with
+  /// `skipped = true` (and leaves `*out` untouched) instead of aborting —
+  /// callers decide whether a skipped refit matters.
   static TrainReport train_and_evaluate(const std::string& model_name,
                                         const ml::Dataset& data,
                                         double test_fraction,

@@ -34,6 +34,62 @@ cluster::ClusterSpec scaled_cluster_spec(int sites, int nodes_per_site) {
   return spec;
 }
 
+std::vector<fault::FaultSpec> generate_drift_schedule(
+    const cluster::ClusterSpec& spec, std::uint64_t seed,
+    const DriftScheduleOptions& options) {
+  LTS_REQUIRE(options.steps >= 1, "generate_drift_schedule: steps >= 1");
+  LTS_REQUIRE(options.step_interval > 0.0,
+              "generate_drift_schedule: step_interval > 0");
+  LTS_REQUIRE(options.drift_links >= 1,
+              "generate_drift_schedule: drift_links >= 1");
+  LTS_REQUIRE(
+      options.max_capacity_cut >= 0.0 && options.max_capacity_cut < 1.0,
+      "generate_drift_schedule: max_capacity_cut in [0, 1)");
+  LTS_REQUIRE(options.max_rtt_spike >= 0.0,
+              "generate_drift_schedule: max_rtt_spike >= 0");
+  LTS_REQUIRE(!spec.wan_links.empty(),
+              "generate_drift_schedule: cluster has no WAN links");
+
+  Rng rng(seed * 0xbf58476d1ce4e5b9ULL + 0xd81f);
+  const std::size_t n_links =
+      std::min<std::size_t>(static_cast<std::size_t>(options.drift_links),
+                            spec.wan_links.size());
+  const auto chosen =
+      rng.sample_without_replacement(spec.wan_links.size(), n_links);
+
+  std::vector<fault::FaultSpec> schedule;
+  schedule.reserve(n_links * static_cast<std::size_t>(options.steps) * 2);
+  for (int step = 1; step <= options.steps; ++step) {
+    const SimTime at =
+        options.start + static_cast<double>(step - 1) * options.step_interval;
+    const double scale =
+        static_cast<double>(step) / static_cast<double>(options.steps);
+    for (const std::size_t link_idx : chosen) {
+      const auto& wan = spec.wan_links[link_idx];
+      const std::string target = wan.site_a + ":" + wan.site_b;
+      if (options.max_capacity_cut > 0.0) {
+        fault::FaultSpec cut;
+        cut.kind = fault::FaultKind::kLinkDegrade;
+        cut.target = target;
+        cut.at = at;
+        cut.duration = 0.0;  // permanent: drift does not heal
+        cut.severity = options.max_capacity_cut * scale;
+        schedule.push_back(std::move(cut));
+      }
+      if (options.max_rtt_spike > 0.0) {
+        fault::FaultSpec spike;
+        spike.kind = fault::FaultKind::kRttSpike;
+        spike.target = target;
+        spike.at = at;
+        spike.duration = 0.0;
+        spike.severity = options.max_rtt_spike * scale;
+        schedule.push_back(std::move(spike));
+      }
+    }
+  }
+  return schedule;
+}
+
 SimEnv::SimEnv(std::uint64_t seed, EnvOptions options)
     : seed_(seed), options_(std::move(options)) {
   Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + 0x1234);

@@ -70,6 +70,36 @@ struct EnvOptions {
   spark::WorkloadCost workload_cost;
 };
 
+/// Knobs for a deterministic network-drift schedule: a staircase of
+/// permanent, escalating WAN degradations (capacity cuts + RTT spikes) on
+/// a fixed subset of links. Unlike generate_fault_schedule's transient
+/// faults, drift never recovers — the environment a static model was
+/// trained for progressively stops existing, which is the regime online
+/// retraining (OnlineTrainer, bench_ext_retrain) is built for.
+struct DriftScheduleOptions {
+  /// First step lands here; keep it at or after warmup plus some healthy
+  /// stream so the retrainer has pre-drift completions in its window.
+  SimTime start = 80.0;
+  /// Number of escalation steps; each step raises severity linearly until
+  /// the final step reaches max_capacity_cut / max_rtt_spike.
+  int steps = 4;
+  SimTime step_interval = 90.0;
+  /// How many WAN links drift (chosen deterministically from the seed).
+  int drift_links = 2;
+  /// Final fraction of link capacity removed, in [0, 1).
+  double max_capacity_cut = 0.85;
+  /// Final extra one-way propagation delay, seconds.
+  SimTime max_rtt_spike = 0.060;
+};
+
+/// Deterministically generates the drift staircase against `spec`'s WAN
+/// links. Same (spec, seed, options) -> same schedule. Each step re-injects
+/// the link fault at a higher severity; the FaultInjector always mutates
+/// relative to the pristine link state, so severities do not compound.
+std::vector<fault::FaultSpec> generate_drift_schedule(
+    const cluster::ClusterSpec& spec, std::uint64_t seed,
+    const DriftScheduleOptions& options = {});
+
 /// Builds a larger deployment in the same style as the paper's testbed:
 /// `sites` site routers in a chain-of-distance full mesh (nearby sites get
 /// short RTTs, distant pairs long ones), `nodes_per_site` nodes each, with

@@ -5,6 +5,7 @@
 #include "core/scheduler.hpp"
 #include "ml/metrics.hpp"
 #include "obs/metrics.hpp"
+#include "util/stats.hpp"
 
 namespace lts::exp {
 
@@ -204,6 +205,49 @@ EvalResult evaluate_methods(const std::vector<MethodUnderTest>& models,
     result.accuracy.push_back(std::move(acc));
   }
   return result;
+}
+
+Json StreamSummary::to_json() const {
+  Json j = Json::object();
+  j["mean_jct_s"] = mean_jct;
+  j["p50_jct_s"] = p50_jct;
+  j["p95_jct_s"] = p95_jct;
+  j["p99_jct_s"] = p99_jct;
+  j["makespan_s"] = makespan;
+  j["jobs"] = static_cast<double>(jobs);
+  j["model_version"] = static_cast<double>(model_version);
+  j["retrains"] = static_cast<double>(retrains);
+  j["retrain_failures"] = static_cast<double>(retrain_failures);
+  j["retrain_skips"] = static_cast<double>(retrain_skips);
+  j["retrain_rejections"] = static_cast<double>(retrain_rejections);
+  return j;
+}
+
+StreamSummary summarize_stream(const StreamResult& result) {
+  StreamSummary summary;
+  std::vector<double> durations;
+  durations.reserve(result.jobs.size());
+  for (const auto& job : result.jobs) durations.push_back(job.duration);
+  summary.jobs = durations.size();
+  if (!durations.empty()) {
+    summary.mean_jct = mean(durations);
+    summary.p50_jct = percentile(durations, 50);
+    summary.p95_jct = percentile(durations, 95);
+    summary.p99_jct = percentile(durations, 99);
+  }
+  summary.makespan = result.makespan;
+  summary.model_version = result.model_version;
+  for (const auto& event : result.retrain_events) {
+    switch (event.outcome) {
+      case core::RetrainOutcome::kSwapped: ++summary.retrains; break;
+      case core::RetrainOutcome::kFailed: ++summary.retrain_failures; break;
+      case core::RetrainOutcome::kSkipped: ++summary.retrain_skips; break;
+      case core::RetrainOutcome::kRejected:
+        ++summary.retrain_rejections;
+        break;
+    }
+  }
+  return summary;
 }
 
 }  // namespace lts::exp

@@ -21,6 +21,7 @@
 #include "core/scheduler.hpp"
 #include "exp/envgen.hpp"
 #include "exp/scenario.hpp"
+#include "exp/stream.hpp"
 #include "ml/model.hpp"
 
 namespace lts::exp {
@@ -106,5 +107,26 @@ EvalResult evaluate_methods(
     const std::vector<std::pair<std::string,
                                 std::shared_ptr<const ml::Regressor>>>& models,
     const std::vector<Scenario>& matrix, const EvalOptions& options);
+
+/// JCT summary of one live-stream run — the end-to-end metrics the stream
+/// comparisons (bench_ext_faults, bench_ext_retrain, `lts stream`) report.
+struct StreamSummary {
+  double mean_jct = 0.0;
+  double p50_jct = 0.0;
+  double p95_jct = 0.0;
+  double p99_jct = 0.0;
+  double makespan = 0.0;
+  std::size_t jobs = 0;
+  /// Retraining streams only (0 / empty otherwise).
+  std::uint64_t model_version = 0;
+  std::size_t retrains = 0;
+  std::size_t retrain_failures = 0;
+  std::size_t retrain_skips = 0;
+  std::size_t retrain_rejections = 0;
+
+  Json to_json() const;
+};
+
+StreamSummary summarize_stream(const StreamResult& result);
 
 }  // namespace lts::exp

@@ -30,9 +30,11 @@ StreamResult run_job_stream(StreamPolicy policy,
                             const std::vector<Scenario>& matrix,
                             const StreamOptions& options) {
   LTS_REQUIRE(options.num_jobs >= 1, "run_job_stream: num_jobs >= 1");
-  if (policy == StreamPolicy::kModel && !options.fallback.enabled) {
+  const bool model_policy = policy == StreamPolicy::kModel ||
+                            policy == StreamPolicy::kModelRetrain;
+  if (model_policy && !options.fallback.enabled) {
     LTS_REQUIRE(model != nullptr && model->is_fitted(),
-                "run_job_stream: kModel needs a fitted model");
+                "run_job_stream: model policies need a fitted model");
   }
 
   SimEnv env(options.seed, options.env);
@@ -59,12 +61,35 @@ StreamResult run_job_stream(StreamPolicy policy,
 
   // Optional model scheduler (reused across decisions).
   std::unique_ptr<core::LtsScheduler> scheduler;
-  if (policy == StreamPolicy::kModel) {
+  if (model_policy) {
     scheduler = std::make_unique<core::LtsScheduler>(
         core::TelemetryFetcher(env.tsdb(), env.node_names(),
                                options.env.snapshot, options.degradation),
         model, options.features, /*risk_aversion=*/0.0, options.fallback);
   }
+
+  // Online retraining loop (kModelRetrain only): completions feed the
+  // rolling window, successful refits hot-swap the scheduler's model. A
+  // kRetrainFail fault makes attempts fail while active — the previous
+  // model keeps serving.
+  std::unique_ptr<core::OnlineTrainer> retrainer;
+  if (policy == StreamPolicy::kModelRetrain) {
+    core::RetrainOptions retrain_options = options.retrain;
+    retrain_options.enabled = true;
+    retrainer = std::make_unique<core::OnlineTrainer>(
+        retrain_options, options.features, model);
+    retrainer->set_failure_hook(
+        [&env] { return env.fault_injector().retrain_fail_active(); });
+  }
+
+  // Decision-time context held until the job completes, at which point it
+  // becomes one training row for the retrainer.
+  struct PendingFeedback {
+    bool valid = false;
+    core::TrainingRecord record;
+    double predicted = -1.0;  // <= 0 means no usable model prediction
+  };
+  std::vector<PendingFeedback> feedback(plan.size());
 
   StreamResult result;
   result.jobs.resize(plan.size());
@@ -95,16 +120,39 @@ StreamResult run_job_stream(StreamPolicy policy,
     // with its fetch/features/predict/rank phases, and "bind" lands below
     // once the pods are placed.
     std::optional<obs::ScopedSpan> span;
-    if (policy == StreamPolicy::kModel) {
+    if (model_policy) {
       span.emplace(obs::Tracer::global(), "decision", env.engine().now());
     }
 
     // Placement decision now, from live state.
     std::size_t driver_node = 0;
     switch (policy) {
-      case StreamPolicy::kModel: {
-        const auto decision = scheduler->schedule(config, env.engine().now());
+      case StreamPolicy::kModel:
+      case StreamPolicy::kModelRetrain: {
+        // Fetch explicitly (instead of scheduler->schedule) so the same
+        // snapshot that produced the decision can seed the training row.
+        // schedule() is exactly fetch + schedule_from_snapshot, so the
+        // kModel decision sequence is unchanged.
+        const SimTime now = env.engine().now();
+        const auto snapshot = scheduler->fetcher().fetch(now);
+        if (span) span->phase("fetch", now);
+        const auto decision =
+            scheduler->schedule_from_snapshot(snapshot, config);
         driver_node = env.cluster().node_index(decision.selected());
+        if (retrainer) {
+          PendingFeedback& fb = feedback[j];
+          fb.valid = true;
+          fb.record.scenario_id = planned.scenario->id;
+          fb.record.node = decision.selected();
+          fb.record.snapshot_time = snapshot.at;
+          fb.record.telemetry = snapshot.by_name(decision.selected());
+          fb.record.config = config;
+          // Fallback rankings carry heuristic scores, not durations;
+          // OnlineTrainer also rejects stale-demoted scores (>= 1e8).
+          fb.predicted = decision.used_fallback
+                             ? -1.0
+                             : decision.ranking.front().predicted_duration;
+        }
         break;
       }
       case StreamPolicy::kKubeDefault: {
@@ -162,6 +210,17 @@ StreamResult run_job_stream(StreamPolicy policy,
       result.jobs[j].duration = app_result.duration();
       for (const auto& pod : *bound) env.api().remove_pod(pod);
       StreamMetrics::get().jobs.inc();
+      if (retrainer && feedback[j].valid) {
+        PendingFeedback& fb = feedback[j];
+        fb.record.duration = app_result.duration();
+        fb.record.shuffle_bytes = app_result.total_shuffle_bytes;
+        fb.record.max_spill_penalty = app_result.max_spill_penalty;
+        const auto event =
+            retrainer->on_completion(fb.record, fb.predicted);
+        if (event && event->outcome == core::RetrainOutcome::kSwapped) {
+          scheduler->set_model(retrainer->model());
+        }
+      }
       --remaining;
     });
   };
@@ -183,6 +242,11 @@ StreamResult run_job_stream(StreamPolicy policy,
     last_finish = std::max(last_finish, job.submitted + job.duration);
   }
   result.makespan = last_finish - first_submit;
+  if (retrainer) {
+    result.model_version = retrainer->model_version();
+    result.retrain_events = retrainer->events();
+    result.final_model = retrainer->model();
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/online_trainer.hpp"
 #include "core/scheduler.hpp"
 #include "exp/envgen.hpp"
 #include "exp/scenario.hpp"
@@ -20,9 +21,10 @@
 namespace lts::exp {
 
 enum class StreamPolicy {
-  kModel,        // the paper's prediction-and-ranking scheduler
-  kKubeDefault,  // default kube-scheduler choice for the driver pod
-  kRandom,       // uniform random node
+  kModel,         // the paper's prediction-and-ranking scheduler
+  kModelRetrain,  // kModel + online retraining on completed jobs (§2.4)
+  kKubeDefault,   // default kube-scheduler choice for the driver pod
+  kRandom,        // uniform random node
 };
 
 struct StreamOptions {
@@ -31,12 +33,18 @@ struct StreamOptions {
   std::uint64_t seed = 1;
   EnvOptions env;
   core::FeatureSet features = core::FeatureSet::kTable1;
-  /// Degradation handling for the kModel policy (fault tolerance). Both
+  /// Degradation handling for the model policies (fault tolerance). Both
   /// default off: the model scheduler then behaves exactly as before. With
   /// `fallback.enabled`, kModel additionally accepts a null model (every
   /// decision falls back to the spreading heuristic).
   core::DegradationOptions degradation;
   core::FallbackOptions fallback;
+  /// Online retraining knobs, used only by kModelRetrain (which force-
+  /// enables the loop). Every completed job feeds the rolling window; a
+  /// successful refit hot-swaps the scheduler's model mid-stream. The
+  /// kModel policy ignores this entirely, and the pre-drawn job/arrival
+  /// plan is policy-independent either way.
+  core::RetrainOptions retrain;
 };
 
 struct StreamJobResult {
@@ -50,6 +58,13 @@ struct StreamResult {
   std::vector<StreamJobResult> jobs;
   /// Last completion minus first submission.
   double makespan = 0.0;
+  /// kModelRetrain only: version serving at stream end (0 = the initial
+  /// model was never replaced), every retrain attempt in order, and the
+  /// model that was serving when the stream finished (null for other
+  /// policies) — save_model(*final_model, path, model_version) ships it.
+  std::uint64_t model_version = 0;
+  std::vector<core::RetrainEvent> retrain_events;
+  std::shared_ptr<const ml::Regressor> final_model;
 };
 
 /// Runs the stream under `policy`. `model` is only used by kModel (may be

@@ -29,6 +29,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kSitePartition: return "site_partition";
     case FaultKind::kExporterSilence: return "exporter_silence";
     case FaultKind::kExporterDelay: return "exporter_delay";
+    case FaultKind::kRetrainFail: return "retrain_fail";
   }
   throw Error("fault: unknown FaultKind");
 }
@@ -40,6 +41,7 @@ FaultKind fault_kind_from_string(const std::string& s) {
   if (s == "site_partition") return FaultKind::kSitePartition;
   if (s == "exporter_silence") return FaultKind::kExporterSilence;
   if (s == "exporter_delay") return FaultKind::kExporterDelay;
+  if (s == "retrain_fail") return FaultKind::kRetrainFail;
   throw Error("fault: unknown fault kind: " + s);
 }
 
@@ -122,6 +124,9 @@ void FaultInjector::inject(const FaultSpec& spec) {
     case FaultKind::kExporterDelay:
       delay_exporter(spec.target, spec.severity);
       break;
+    case FaultKind::kRetrainFail:
+      fail_retrains();
+      break;
   }
   ++injected_;
 }
@@ -145,6 +150,9 @@ void FaultInjector::recover(const FaultSpec& spec) {
       break;
     case FaultKind::kExporterDelay:
       undelay_exporter(spec.target);
+      break;
+    case FaultKind::kRetrainFail:
+      restore_retrains();
       break;
   }
   ++recovered_;
@@ -244,6 +252,10 @@ void FaultInjector::delay_exporter(const std::string& node,
 void FaultInjector::undelay_exporter(const std::string& node) {
   exporter_for(node).set_report_delay(0.0);
 }
+
+void FaultInjector::fail_retrains() { retrain_fail_active_ = true; }
+
+void FaultInjector::restore_retrains() { retrain_fail_active_ = false; }
 
 net::LinkId FaultInjector::wan_forward_link(const std::string& site_a,
                                             const std::string& site_b) const {

@@ -39,6 +39,7 @@ enum class FaultKind {
   kSitePartition,    // target = site name; every WAN link touching it dies
   kExporterSilence,  // target = node name; exporter scrapes vanish
   kExporterDelay,    // target = node name; severity = reporting lag seconds
+  kRetrainFail,      // target ignored; online refits fail while active
 };
 
 const char* to_string(FaultKind kind);
@@ -96,6 +97,14 @@ class FaultInjector {
   void unsilence_exporter(const std::string& node);
   void delay_exporter(const std::string& node, SimTime report_delay);
   void undelay_exporter(const std::string& node);
+  void fail_retrains();
+  void restore_retrains();
+
+  /// True while a kRetrainFail fault is active. The OnlineTrainer's
+  /// failure hook polls this: refits attempted in the window fail and the
+  /// previous model keeps serving (the degradation the fault models is a
+  /// broken training pipeline, not a broken scheduler).
+  bool retrain_fail_active() const { return retrain_fail_active_; }
 
   /// Count of fault activations / recoveries that have fired so far.
   int injected() const { return injected_; }
@@ -123,6 +132,7 @@ class FaultInjector {
     SimTime prop_delay;
   };
   std::map<net::LinkId, SavedLink> saved_links_;
+  bool retrain_fail_active_ = false;
   int injected_ = 0;
   int recovered_ = 0;
 };

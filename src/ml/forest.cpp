@@ -45,11 +45,11 @@ RandomForestRegressor::RandomForestRegressor(ForestParams params)
               "ForestParams: need at least one tree");
 }
 
-void RandomForestRegressor::fit(const Dataset& data) {
-  LTS_REQUIRE(!data.empty(), "RandomForest: empty training set");
-  num_features_ = data.num_features();
+std::vector<std::unique_ptr<DecisionTreeRegressor>>
+RandomForestRegressor::grow_trees(
+    const Dataset& data, std::size_t count, std::uint64_t salt,
+    std::vector<std::vector<std::size_t>>* bags) {
   const std::size_t n = data.size();
-  const auto n_trees = static_cast<std::size_t>(params_.n_estimators);
 
   TreeParams tree_params = params_.tree;
   tree_params.max_features =
@@ -57,16 +57,17 @@ void RandomForestRegressor::fit(const Dataset& data) {
           ? params_.max_features
           : std::max(1, static_cast<int>(num_features_) / 3);
 
-  trees_.clear();
-  trees_.resize(n_trees);
-  std::vector<std::vector<std::size_t>> bags(n_trees);
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> grown(count);
+  if (bags != nullptr) bags->assign(count, {});
 
-  // Each tree gets an independent Rng derived from (seed, tree index), so
-  // training is deterministic regardless of thread interleaving.
+  // Each tree gets an independent Rng derived from (seed, salt, tree
+  // index), so training is deterministic regardless of thread
+  // interleaving. salt=0 is the initial fit; refits advance it so new
+  // windows grow different trees.
   ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
-  // lts-lint: shared-guarded(partitioned: tree b writes only trees_[b] and bags[b]; data/params are read-only)
-  pool.parallel_for(n_trees, [&](std::size_t b) {
-    Rng rng(params_.seed * 0x9e3779b97f4a7c15ULL + b * 2 + 1);
+  // lts-lint: shared-guarded(partitioned: tree b writes only grown[b] and (*bags)[b]; data/params are read-only)
+  pool.parallel_for(count, [&](std::size_t b) {
+    Rng rng((params_.seed + salt) * 0x9e3779b97f4a7c15ULL + b * 2 + 1);
     std::vector<std::size_t> rows;
     rows.reserve(n);
     if (params_.bootstrap) {
@@ -80,9 +81,21 @@ void RandomForestRegressor::fit(const Dataset& data) {
     }
     auto tree = std::make_unique<DecisionTreeRegressor>(tree_params);
     tree->fit_on(data, rows, rng);
-    trees_[b] = std::move(tree);
-    bags[b] = std::move(rows);
+    grown[b] = std::move(tree);
+    if (bags != nullptr) (*bags)[b] = std::move(rows);
   });
+  return grown;
+}
+
+void RandomForestRegressor::fit(const Dataset& data) {
+  LTS_REQUIRE(!data.empty(), "RandomForest: empty training set");
+  num_features_ = data.num_features();
+  const std::size_t n = data.size();
+  const auto n_trees = static_cast<std::size_t>(params_.n_estimators);
+
+  refit_generation_ = 0;
+  std::vector<std::vector<std::size_t>> bags;
+  trees_ = grow_trees(data, n_trees, /*salt=*/0, &bags);
 
   if (params_.compute_oob && params_.bootstrap) {
     std::vector<double> oob_sum(n, 0.0);
@@ -108,6 +121,29 @@ void RandomForestRegressor::fit(const Dataset& data) {
     oob_r2_ = truth.size() >= 2 ? r2_score(truth, preds)
                                 : std::numeric_limits<double>::quiet_NaN();
   }
+}
+
+void RandomForestRegressor::refit(const Dataset& data) {
+  LTS_REQUIRE(!data.empty(), "RandomForest: empty training set");
+  if (!is_fitted() || data.num_features() != num_features_) {
+    fit(data);
+    return;
+  }
+  // Replace the oldest half of the ensemble with trees grown on the new
+  // window. Kept trees rotate to the front, so repeated refits age them
+  // out in FIFO order and the forest blends the last few windows.
+  ++refit_generation_;
+  const std::size_t replaced = std::max<std::size_t>(1, trees_.size() / 2);
+  auto fresh = grow_trees(data, replaced, refit_generation_, nullptr);
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> next;
+  next.reserve(trees_.size());
+  for (std::size_t i = replaced; i < trees_.size(); ++i) {
+    next.push_back(std::move(trees_[i]));
+  }
+  for (auto& tree : fresh) next.push_back(std::move(tree));
+  trees_ = std::move(next);
+  // OOB score would mix windows; clear it rather than report a stale one.
+  oob_r2_ = std::numeric_limits<double>::quiet_NaN();
 }
 
 double RandomForestRegressor::predict_row(
@@ -140,6 +176,7 @@ Json RandomForestRegressor::to_json() const {
   Json j = Json::object();
   j["params"] = params_.to_json();
   j["num_features"] = num_features_;
+  j["refit_generation"] = static_cast<double>(refit_generation_);
   JsonArray trees;
   trees.reserve(trees_.size());
   for (const auto& tree : trees_) {
@@ -152,6 +189,10 @@ Json RandomForestRegressor::to_json() const {
 void RandomForestRegressor::from_json(const Json& j) {
   params_ = ForestParams::from_json(j.at("params"));
   num_features_ = static_cast<std::size_t>(j.at("num_features").as_double());
+  refit_generation_ =
+      j.contains("refit_generation")
+          ? static_cast<std::uint64_t>(j.at("refit_generation").as_double())
+          : 0;
   trees_.clear();
   for (const auto& entry : j.at("trees").as_array()) {
     auto tree = std::make_unique<DecisionTreeRegressor>();

@@ -31,6 +31,14 @@ class RandomForestRegressor : public Regressor {
   explicit RandomForestRegressor(ForestParams params = {});
 
   void fit(const Dataset& data) override;
+  /// Warm-start retrain: replaces the oldest half of the ensemble with
+  /// trees grown on `data` (the newest window), keeping the rest, so the
+  /// forest tracks drift while retaining smoothing from earlier windows.
+  /// Each refit advances a generation counter that salts the per-tree Rng,
+  /// making every generation's trees distinct yet deterministic. Falls back
+  /// to fit() when unfitted or the feature width changed. The out-of-bag
+  /// score is cleared (it would mix windows).
+  void refit(const Dataset& data) override;
   double predict_row(std::span<const double> features) const override;
   /// Mean and standard deviation of the per-tree predictions: the classic
   /// bagging uncertainty estimate.
@@ -49,6 +57,10 @@ class RandomForestRegressor : public Regressor {
   /// Out-of-bag R^2; NaN unless compute_oob was set at fit time.
   double oob_r2() const { return oob_r2_; }
 
+  /// Number of refit() calls since the last full fit() (serialized, so a
+  /// reloaded model continues its deterministic retrain sequence).
+  std::uint64_t refit_generation() const { return refit_generation_; }
+
   /// Trains on `pool` instead of the process-global one (nullptr restores
   /// the default). Each tree derives its Rng from (seed, tree index), so the
   /// fitted model is identical for any pool size — the determinism test
@@ -56,10 +68,17 @@ class RandomForestRegressor : public Regressor {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
  private:
+  /// Grows `count` trees on `data` with Rngs derived from (seed, salt,
+  /// tree index); the shared worker body of fit() and refit().
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> grow_trees(
+      const Dataset& data, std::size_t count, std::uint64_t salt,
+      std::vector<std::vector<std::size_t>>* bags);
+
   ForestParams params_;
   ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
   std::size_t num_features_ = 0;
+  std::uint64_t refit_generation_ = 0;
   double oob_r2_ = std::numeric_limits<double>::quiet_NaN();
 };
 

@@ -188,43 +188,7 @@ void GradientBoostedTrees::fit(const Dataset& data) {
   std::size_t best_n_trees = 0;
 
   for (int round = 0; round < params_.n_rounds; ++round) {
-    for (const std::size_t i : train_rows) {
-      grad[i] = pred[i] - data.target(i);  // d/dp 1/2 (p - y)^2
-    }
-    // Row subsample for this round.
-    std::vector<std::size_t> rows;
-    if (params_.subsample < 1.0) {
-      for (const std::size_t i : train_rows) {
-        if (rng.uniform() < params_.subsample) rows.push_back(i);
-      }
-      if (rows.size() < 2) rows = train_rows;
-    } else {
-      rows = train_rows;
-    }
-    // Column subsample.
-    TreeBuildContext ctx;
-    ctx.data = &data;
-    ctx.grad = &grad;
-    ctx.hess = &hess;
-    ctx.params = &params_;
-    ctx.importance = &importance_;
-    if (params_.colsample < 1.0) {
-      const auto k = static_cast<std::size_t>(std::max(
-          1.0, params_.colsample * static_cast<double>(num_features_)));
-      ctx.feature_pool = rng.sample_without_replacement(num_features_, k);
-    } else {
-      ctx.feature_pool.resize(num_features_);
-      std::iota(ctx.feature_pool.begin(), ctx.feature_pool.end(),
-                std::size_t{0});
-    }
-
-    std::vector<GbtNode> tree;
-    build_node(ctx, rows, 0, rows.size(), 0, tree);
-    // Update all predictions (train + validation) with the new tree.
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      pred[i] += tree_predict(tree, data.row(i));
-    }
-    trees_.push_back(std::move(tree));
+    boost_one_round(data, train_rows, pred, grad, hess, rng);
 
     if (!val_rows.empty()) {
       double acc = 0.0;
@@ -248,6 +212,75 @@ void GradientBoostedTrees::fit(const Dataset& data) {
     best_val_rmse_ = best_rmse;
   }
   fitted_ = true;
+}
+
+void GradientBoostedTrees::boost_one_round(
+    const Dataset& data, const std::vector<std::size_t>& train_rows,
+    std::vector<double>& pred, std::vector<double>& grad,
+    std::vector<double>& hess, Rng& rng) {
+  for (const std::size_t i : train_rows) {
+    grad[i] = pred[i] - data.target(i);  // d/dp 1/2 (p - y)^2
+  }
+  // Row subsample for this round.
+  std::vector<std::size_t> rows;
+  if (params_.subsample < 1.0) {
+    for (const std::size_t i : train_rows) {
+      if (rng.uniform() < params_.subsample) rows.push_back(i);
+    }
+    if (rows.size() < 2) rows = train_rows;
+  } else {
+    rows = train_rows;
+  }
+  // Column subsample.
+  TreeBuildContext ctx;
+  ctx.data = &data;
+  ctx.grad = &grad;
+  ctx.hess = &hess;
+  ctx.params = &params_;
+  ctx.importance = &importance_;
+  if (params_.colsample < 1.0) {
+    const auto k = static_cast<std::size_t>(std::max(
+        1.0, params_.colsample * static_cast<double>(num_features_)));
+    ctx.feature_pool = rng.sample_without_replacement(num_features_, k);
+  } else {
+    ctx.feature_pool.resize(num_features_);
+    std::iota(ctx.feature_pool.begin(), ctx.feature_pool.end(),
+              std::size_t{0});
+  }
+
+  std::vector<GbtNode> tree;
+  build_node(ctx, rows, 0, rows.size(), 0, tree);
+  // Update all predictions (train + validation) with the new tree.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    pred[i] += tree_predict(tree, data.row(i));
+  }
+  trees_.push_back(std::move(tree));
+}
+
+void GradientBoostedTrees::refit(const Dataset& data) {
+  const auto reset_cap =
+      3 * static_cast<std::size_t>(std::max(1, params_.n_rounds));
+  if (!fitted_ || data.num_features() != num_features_ ||
+      trees_.size() >= reset_cap) {
+    fit(data);
+    return;
+  }
+  LTS_REQUIRE(data.size() >= 4, "GBT: need at least 4 samples");
+  // Continued boosting against the current ensemble's residuals on the new
+  // window. The Rng is salted by the ensemble size so consecutive refits
+  // draw fresh subsamples yet stay deterministic for a given model state.
+  Rng rng(params_.seed + 0x5bd1e995ULL * (trees_.size() + 1));
+  std::vector<std::size_t> train_rows(data.size());
+  std::iota(train_rows.begin(), train_rows.end(), std::size_t{0});
+  std::vector<double> pred = predict(data.x());
+  std::vector<double> grad(data.size(), 0.0);
+  std::vector<double> hess(data.size(), 1.0);
+
+  const int extra = std::max(1, params_.n_rounds / 4);
+  for (int round = 0; round < extra; ++round) {
+    boost_one_round(data, train_rows, pred, grad, hess, rng);
+  }
+  best_val_rmse_ = std::numeric_limits<double>::quiet_NaN();
 }
 
 double GradientBoostedTrees::tree_predict(const std::vector<GbtNode>& tree,

@@ -55,6 +55,14 @@ class GradientBoostedTrees : public Regressor {
   explicit GradientBoostedTrees(GbtParams params = {});
 
   void fit(const Dataset& data) override;
+  /// Warm-start retrain: continues boosting against the current ensemble's
+  /// residuals on the new window for n_rounds/4 extra rounds (no early
+  /// stopping — retraining windows are small). Falls back to a full fit()
+  /// when unfitted, the feature width changed, or the ensemble has grown
+  /// past 3x n_rounds (bounding memory and predict cost under a long
+  /// retraining stream). Feature importances keep accumulating; the stored
+  /// validation RMSE is cleared (it described an older window).
+  void refit(const Dataset& data) override;
   double predict_row(std::span<const double> features) const override;
   bool is_fitted() const override { return fitted_; }
   std::string name() const override { return "xgboost"; }
@@ -74,6 +82,13 @@ class GradientBoostedTrees : public Regressor {
   int build_node(TreeBuildContext& ctx, std::vector<std::size_t>& rows,
                  std::size_t begin, std::size_t end, int depth,
                  std::vector<GbtNode>& tree);
+  /// One boosting round: gradient refresh over train_rows, row/column
+  /// subsample draws from `rng`, grow a tree, update `pred` for every row,
+  /// append the tree. Shared by fit() and refit().
+  void boost_one_round(const Dataset& data,
+                       const std::vector<std::size_t>& train_rows,
+                       std::vector<double>& pred, std::vector<double>& grad,
+                       std::vector<double>& hess, Rng& rng);
   static double tree_predict(const std::vector<GbtNode>& tree,
                              std::span<const double> features);
 

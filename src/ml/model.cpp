@@ -1,6 +1,7 @@
 #include "ml/model.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include <fstream>
 #include <sstream>
@@ -26,7 +27,9 @@ LogTargetRegressor::LogTargetRegressor(std::unique_ptr<Regressor> inner)
   LTS_REQUIRE(inner_ != nullptr, "LogTargetRegressor: null inner model");
 }
 
-void LogTargetRegressor::fit(const Dataset& data) {
+namespace {
+
+Dataset log_transformed(const Dataset& data) {
   std::vector<double> log_y;
   log_y.reserve(data.size());
   for (const double y : data.y()) {
@@ -34,7 +37,17 @@ void LogTargetRegressor::fit(const Dataset& data) {
     log_y.push_back(std::log(y));
   }
   Matrix x = data.x();
-  inner_->fit(Dataset(std::move(x), std::move(log_y), data.feature_names()));
+  return Dataset(std::move(x), std::move(log_y), data.feature_names());
+}
+
+}  // namespace
+
+void LogTargetRegressor::fit(const Dataset& data) {
+  inner_->fit(log_transformed(data));
+}
+
+void LogTargetRegressor::refit(const Dataset& data) {
+  inner_->refit(log_transformed(data));
 }
 
 double LogTargetRegressor::predict_row(
@@ -91,16 +104,33 @@ std::vector<std::string> registered_regressors() {
   return {"linear", "decision_tree", "random_forest", "xgboost"};
 }
 
-Json model_to_json(const Regressor& model) {
+Json model_to_json(const Regressor& model, std::uint64_t model_version) {
   Json j = Json::object();
   j["type"] = model.name();
   j["log_target"] =
       dynamic_cast<const LogTargetRegressor*>(&model) != nullptr;
+  j["model_version"] = static_cast<double>(model_version);
   j["state"] = model.to_json();
   return j;
 }
 
+namespace {
+
+/// Structural checks up front so a corrupt envelope fails with one clear
+/// message instead of whatever Json::at happens to throw first.
+void require_envelope_shape(const Json& j) {
+  LTS_REQUIRE(j.is_object(),
+              "model envelope: expected a JSON object, got a different type");
+  LTS_REQUIRE(j.contains("type") && j.at("type").is_string(),
+              "model envelope: missing or non-string 'type' tag");
+  LTS_REQUIRE(j.contains("state"),
+              "model envelope: missing 'state' (learned parameters)");
+}
+
+}  // namespace
+
 std::unique_ptr<Regressor> model_from_json(const Json& j) {
+  require_envelope_shape(j);
   auto model = create_regressor(j.at("type").as_string());
   if (j.contains("log_target") && j.at("log_target").as_bool()) {
     model = std::make_unique<LogTargetRegressor>(std::move(model));
@@ -109,19 +139,62 @@ std::unique_ptr<Regressor> model_from_json(const Json& j) {
   return model;
 }
 
-void save_model(const Regressor& model, const std::string& path) {
-  std::ofstream f(path);
-  LTS_REQUIRE(f.good(), "save_model: cannot open " + path);
-  f << model_to_json(model).dump(2);
-  LTS_REQUIRE(f.good(), "save_model: write failed for " + path);
+std::uint64_t model_version_from_json(const Json& j) {
+  require_envelope_shape(j);
+  if (!j.contains("model_version")) return 0;  // pre-versioning envelope
+  const double v = j.at("model_version").as_double();
+  LTS_REQUIRE(v >= 0.0, "model envelope: negative model_version");
+  return static_cast<std::uint64_t>(v);
 }
 
-std::unique_ptr<Regressor> load_model(const std::string& path) {
+void save_model(const Regressor& model, const std::string& path,
+                std::uint64_t model_version) {
+  // Write-then-rename: the serving path (and the retraining hot-swap loop)
+  // must never observe a half-written model. Stream state is checked after
+  // both the write and the close so ENOSPC or a failed flush surfaces as an
+  // exception with the temporary cleaned up, leaving any previous model at
+  // `path` intact.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    LTS_REQUIRE(f.good(), "save_model: cannot open " + tmp);
+    f << model_to_json(model, model_version).dump(2);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      throw Error("save_model: write failed for " + tmp);
+    }
+    f.close();
+    if (f.fail()) {
+      std::remove(tmp.c_str());
+      throw Error("save_model: close failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("save_model: cannot rename " + tmp + " to " + path);
+  }
+}
+
+LoadedModel load_model_envelope(const std::string& path) {
   std::ifstream f(path);
   LTS_REQUIRE(f.good(), "load_model: cannot open " + path);
   std::stringstream buffer;
   buffer << f.rdbuf();
-  return model_from_json(Json::parse(buffer.str()));
+  try {
+    const Json envelope = Json::parse(buffer.str());
+    LoadedModel loaded;
+    loaded.version = model_version_from_json(envelope);
+    loaded.model = model_from_json(envelope);
+    return loaded;
+  } catch (const std::exception& e) {
+    throw Error("load_model: " + path + ": " + e.what());
+  }
+}
+
+std::unique_ptr<Regressor> load_model(const std::string& path) {
+  return std::move(load_model_envelope(path).model);
 }
 
 }  // namespace lts::ml

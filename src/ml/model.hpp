@@ -33,6 +33,15 @@ class Regressor {
   /// Trains on the dataset; may be called again to retrain from scratch.
   virtual void fit(const Dataset& data) = 0;
 
+  /// Retrains on a fresh window, warm-starting from the current state when
+  /// the model family supports it (online retraining, §2.4). The default
+  /// simply refits from scratch; ensembles override: the random forest
+  /// replaces its oldest trees with trees grown on the new window, and the
+  /// boosted model continues boosting against its current predictions.
+  /// Falls back to fit() when the model is unfitted or the feature width
+  /// changed. Deterministic for a given (state, data).
+  virtual void refit(const Dataset& data) { fit(data); }
+
   /// Predicts the target for one feature vector. Requires is_fitted().
   virtual double predict_row(std::span<const double> features) const = 0;
 
@@ -71,6 +80,7 @@ class LogTargetRegressor : public Regressor {
   explicit LogTargetRegressor(std::unique_ptr<Regressor> inner);
 
   void fit(const Dataset& data) override;
+  void refit(const Dataset& data) override;
   double predict_row(std::span<const double> features) const override;
   bool is_fitted() const override;
   Prediction predict_with_uncertainty(
@@ -96,10 +106,34 @@ std::unique_ptr<Regressor> create_regressor(const std::string& name,
 std::vector<std::string> registered_regressors();
 
 /// Round-trips a model through its serialized form (type tag included).
-Json model_to_json(const Regressor& model);
+/// The envelope additionally carries `model_version`, a monotonically
+/// increasing counter stamped by the online retraining loop so operators
+/// can tell which refit produced a deployed artifact (0 = offline-trained,
+/// never hot-swapped). Envelopes written before versioning load as 0.
+Json model_to_json(const Regressor& model, std::uint64_t model_version = 0);
 std::unique_ptr<Regressor> model_from_json(const Json& j);
 
-void save_model(const Regressor& model, const std::string& path);
+/// Version stamp of a serialized envelope (0 when absent). Throws the same
+/// diagnostics as model_from_json on a malformed envelope.
+std::uint64_t model_version_from_json(const Json& j);
+
+/// Writes the model atomically: the serialized envelope lands in
+/// `<path>.tmp` first, the stream is checked after write and close, and
+/// only then is the temporary renamed over `path`. A crash or full disk
+/// mid-write therefore never leaves a truncated model where a serving
+/// loop (or the retraining hot-swap) would load it.
+void save_model(const Regressor& model, const std::string& path,
+                std::uint64_t model_version = 0);
+
+/// A deserialized model plus its envelope version stamp.
+struct LoadedModel {
+  std::unique_ptr<Regressor> model;
+  std::uint64_t version = 0;
+};
+
+/// Loads an envelope, reporting the path in any failure diagnostic
+/// (unreadable file, malformed JSON, unknown model type, missing keys).
+LoadedModel load_model_envelope(const std::string& path);
 std::unique_ptr<Regressor> load_model(const std::string& path);
 
 }  // namespace lts::ml

@@ -165,7 +165,13 @@ DecisionTreeRegressor::best_split(const Dataset& data,
                           sum * sum / static_cast<double>(n);
       if (gain > best.gain) {
         best.feature = static_cast<int>(f);
-        best.threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+        // The midpoint of two adjacent doubles can round up onto the right
+        // value; `x <= threshold` would then send both sides left and the
+        // split would partition nothing. Snap to the left value, which
+        // always separates (it is strictly below vals[i + 1]).
+        double threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+        if (threshold >= vals[i + 1].first) threshold = vals[i].first;
+        best.threshold = threshold;
         best.gain = gain;
       }
     }

@@ -247,6 +247,42 @@ TEST(Trainer, TrainsEveryRegisteredFamily) {
   }
 }
 
+TEST(Trainer, RejectsNonObjectParams) {
+  const auto data = synthetic_training_dataset(30, 9);
+  // Null means "use defaults"; an object is taken as-is. Anything else is
+  // a malformed config that must fail loudly, not silently fall back.
+  EXPECT_NO_THROW(Trainer::train("linear", data, Json()));
+  Json params = Json::object();
+  params["l2"] = 0.5;
+  EXPECT_NO_THROW(Trainer::train("linear", data, params));
+  EXPECT_THROW(Trainer::train("linear", data, Json("l2=0.5")), Error);
+  EXPECT_THROW(Trainer::train("linear", data, Json(3.0)), Error);
+  EXPECT_THROW(Trainer::train("linear", data, Json::array()), Error);
+  EXPECT_THROW(
+      Trainer::train_and_evaluate("linear", data, 0.2, 1, Json(true)),
+      Error);
+}
+
+TEST(Trainer, TooFewRowsReportsSkipInsteadOfThrowing) {
+  std::unique_ptr<ml::Regressor> out;
+  const auto one_row = synthetic_training_dataset(1, 10);
+  const auto report =
+      Trainer::train_and_evaluate("linear", one_row, 0.2, 1, Json(), &out);
+  EXPECT_TRUE(report.skipped);
+  EXPECT_EQ(report.train_rows, 1u);
+  EXPECT_NE(report.skip_reason.find("too small"), std::string::npos);
+  EXPECT_EQ(out, nullptr);  // a skipped evaluation must not touch *out
+
+  // An extreme test fraction makes the holdout swallow the dataset; that
+  // is the same infeasible split, reported the same way.
+  const auto few = synthetic_training_dataset(5, 11);
+  EXPECT_TRUE(Trainer::train_and_evaluate("linear", few, 0.99, 1).skipped);
+
+  // A healthy dataset is unaffected.
+  const auto ok = synthetic_training_dataset(50, 12);
+  EXPECT_FALSE(Trainer::train_and_evaluate("linear", ok, 0.2, 1).skipped);
+}
+
 TEST(Trainer, EvaluationReportsSaneMetrics) {
   // XGBoost here: the synthetic corpus has 12 constant columns, which the
   // random-forest default's narrow per-split feature draw (tuned for the

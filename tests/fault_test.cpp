@@ -49,6 +49,7 @@ TEST(FaultSpecJson, RoundTripsEveryKind) {
       {fault::FaultKind::kSitePartition, "sri", 80.0, 15.0, 1.0},
       {fault::FaultKind::kExporterSilence, "node-1", 90.0, 20.0, 1.0},
       {fault::FaultKind::kExporterDelay, "node-2", 100.0, 25.0, 12.0},
+      {fault::FaultKind::kRetrainFail, "", 110.0, 60.0, 1.0},
   };
   const std::string text = fault::faults_to_json(schedule).dump();
   const auto parsed = fault::faults_from_json(Json::parse(text));

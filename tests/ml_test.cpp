@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 
 #include "ml/dataset.hpp"
 #include "ml/forest.hpp"
@@ -787,6 +789,229 @@ TEST(Analysis, InputValidation) {
   model.fit(data);
   EXPECT_THROW(partial_dependence(model, data, 99), Error);
   EXPECT_THROW(partial_dependence(model, data, 0, 1), Error);
+}
+
+// --------------------------------------------- envelope and atomic save ----
+
+/// make_synthetic with the target shifted positive, so log-target wrapping
+/// (which requires y > 0) can fit the same problem.
+Dataset make_positive_synthetic(std::size_t n, std::uint64_t seed) {
+  Dataset raw = make_synthetic(n, seed);
+  Dataset data;
+  data.set_feature_names(raw.feature_names());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const auto row = raw.row(i);
+    data.add_row(std::vector<double>(row.begin(), row.end()),
+                 raw.target(i) + 10.0);
+  }
+  return data;
+}
+
+/// Small hyperparameters per family so the full registry sweep stays fast.
+Json small_params(const std::string& name, bool log_target) {
+  Json p = Json::object();
+  p["log_target"] = log_target;
+  if (name == "random_forest") p["n_estimators"] = 12;
+  if (name == "xgboost") p["n_rounds"] = 15;
+  return p;
+}
+
+TEST(Envelope, RoundTripsEveryFamilyPlainAndLogWrapped) {
+  const Dataset data = make_positive_synthetic(150, 41);
+  for (const auto& name : registered_regressors()) {
+    for (const bool wrapped : {false, true}) {
+      const auto model = create_regressor(name, small_params(name, wrapped));
+      ASSERT_EQ(dynamic_cast<LogTargetRegressor*>(model.get()) != nullptr,
+                wrapped)
+          << name;
+      model->fit(data);
+      const std::string path = std::string("/tmp/lts_envelope_") + name +
+                               (wrapped ? "_log" : "_plain") + ".json";
+      save_model(*model, path, 7);
+      const auto loaded = load_model_envelope(path);
+      EXPECT_EQ(loaded.version, 7u) << name;
+      EXPECT_EQ(loaded.model->name(), name);
+      EXPECT_EQ(dynamic_cast<LogTargetRegressor*>(loaded.model.get()) !=
+                    nullptr,
+                wrapped)
+          << name;
+      // Bit-identical predictions after save -> load, not merely close.
+      for (std::size_t i = 0; i < 25; ++i) {
+        EXPECT_DOUBLE_EQ(loaded.model->predict_row(data.row(i)),
+                         model->predict_row(data.row(i)))
+            << name << (wrapped ? " (log)" : " (plain)") << " row " << i;
+      }
+      std::ifstream tmp(path + ".tmp");
+      EXPECT_FALSE(tmp.good()) << "atomic save left " << path << ".tmp";
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(Envelope, VersionDefaultsToZeroAndRejectsNegative) {
+  const Dataset data = make_synthetic(40, 42);
+  LinearRegression model;
+  model.fit(data);
+
+  // model_to_json without a version and pre-versioning envelopes (no
+  // model_version key at all) both read back as version 0.
+  EXPECT_EQ(model_version_from_json(model_to_json(model)), 0u);
+  Json legacy = Json::object();
+  legacy["type"] = "linear";
+  legacy["state"] = model.to_json();
+  EXPECT_EQ(model_version_from_json(legacy), 0u);
+
+  Json negative = model_to_json(model);
+  negative["model_version"] = -3.0;
+  EXPECT_THROW(model_version_from_json(negative), Error);
+}
+
+TEST(Envelope, LoadFailuresReportPathAndReason) {
+  const auto expect_load_error = [](const std::string& path,
+                                    const std::string& fragment) {
+    try {
+      load_model(path);
+      FAIL() << "expected load_model(" << path << ") to throw";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(path), std::string::npos) << what;
+      EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    }
+  };
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& text) {
+    std::ofstream f(path, std::ios::trunc);
+    f << text;
+  };
+
+  expect_load_error("/tmp/lts_definitely_missing_model.json", "cannot open");
+
+  const std::string path = "/tmp/lts_corrupt_model.json";
+  write_file(path, "{\"type\": \"linear\", \"state\":");  // truncated
+  expect_load_error(path, "");
+  write_file(path, "[1, 2, 3]");  // not an object
+  expect_load_error(path, "expected a JSON object");
+  write_file(path, "{\"state\": {}}");  // no type tag
+  expect_load_error(path, "'type'");
+  write_file(path, "{\"type\": \"linear\"}");  // no learned state
+  expect_load_error(path, "'state'");
+  write_file(path, "{\"type\": \"svm\", \"state\": {}}");  // unknown family
+  expect_load_error(path, "unknown model name");
+  std::remove(path.c_str());
+}
+
+TEST(Envelope, FailedSaveLeavesNoFiles) {
+  const Dataset data = make_synthetic(40, 43);
+  LinearRegression model;
+  model.fit(data);
+  const std::string path = "/tmp/lts_no_such_dir/model.json";
+  EXPECT_THROW(save_model(model, path), Error);
+  std::ifstream out(path);
+  EXPECT_FALSE(out.good());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+// ----------------------------------------------------------------- refit ----
+
+TEST(Refit, ForestWarmRefitIsDeterministicAndSerializesGeneration) {
+  const Dataset data = make_synthetic(200, 44);
+  const Dataset window = make_synthetic(80, 45);
+  ForestParams params;
+  params.n_estimators = 16;
+  params.seed = 9;
+
+  RandomForestRegressor a{params};
+  a.fit(data);
+  EXPECT_EQ(a.refit_generation(), 0u);
+  // A serialized clone refit on the same window must land on the identical
+  // model: refits draw per-tree seeds from the serialized generation.
+  auto b = model_from_json(model_to_json(a));
+  a.refit(window);
+  EXPECT_EQ(a.refit_generation(), 1u);
+  b->refit(window);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_row(window.row(i)), b->predict_row(window.row(i)));
+  }
+  EXPECT_EQ(a.num_trees(), static_cast<std::size_t>(params.n_estimators));
+
+  const auto reloaded = model_from_json(model_to_json(a));
+  const auto* forest =
+      dynamic_cast<const RandomForestRegressor*>(reloaded.get());
+  ASSERT_NE(forest, nullptr);
+  EXPECT_EQ(forest->refit_generation(), 1u);
+}
+
+TEST(Refit, ForestUnfittedOrWidthChangeFallsBackToFullFit) {
+  const Dataset data = make_synthetic(100, 46);
+  ForestParams params;
+  params.n_estimators = 8;
+  RandomForestRegressor cold{params};
+  cold.refit(data);  // never fitted: refit must behave like fit
+  EXPECT_TRUE(cold.is_fitted());
+  EXPECT_EQ(cold.refit_generation(), 0u);
+
+  RandomForestRegressor fitted{params};
+  fitted.fit(data);
+  Dataset narrow;
+  narrow.add_row(std::vector<double>{1.0}, 2.0);
+  narrow.add_row(std::vector<double>{2.0}, 3.0);
+  narrow.add_row(std::vector<double>{3.0}, 4.0);
+  narrow.add_row(std::vector<double>{4.0}, 5.0);
+  fitted.refit(narrow);  // feature width changed: full retrain
+  EXPECT_EQ(fitted.refit_generation(), 0u);
+  EXPECT_DOUBLE_EQ(fitted.predict_row(std::vector<double>{1.0}),
+                   fitted.predict_row(std::vector<double>{1.0}));
+}
+
+TEST(Refit, GbtContinuesBoostingThenResetsWhenOversized) {
+  const Dataset data = make_synthetic(200, 47);
+  GbtParams params;
+  params.n_rounds = 16;
+  params.early_stopping_rounds = 0;
+  GradientBoostedTrees model{params};
+  model.fit(data);
+  const std::size_t base = model.num_trees();
+
+  const Dataset window = make_synthetic(60, 48);
+  model.refit(window);
+  EXPECT_EQ(model.num_trees(), base + 4);  // n_rounds / 4 extra rounds
+
+  // Determinism: a serialized clone refit on the same window matches.
+  GradientBoostedTrees twin{params};
+  twin.fit(data);
+  twin.refit(window);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(model.predict_row(window.row(i)),
+                     twin.predict_row(window.row(i)));
+  }
+
+  // Keep refitting: once the ensemble hits the 3x n_rounds cap it resets
+  // to a from-scratch fit instead of growing without bound.
+  for (int i = 0; i < 16; ++i) model.refit(window);
+  EXPECT_LE(model.num_trees(), static_cast<std::size_t>(3 * params.n_rounds));
+}
+
+TEST(TreeSplit, AdjacentDoubleThresholdStillPartitions) {
+  // Regression test: the midpoint of two adjacent doubles can round up
+  // onto the right value; the `<=` partition would then send every row
+  // left and die on an internal assert. 0x1.fffffffffffffp0 and 2.0 are
+  // adjacent, and their midpoint rounds (to even) exactly onto 2.0.
+  const double left = std::nextafter(2.0, 0.0);
+  ASSERT_EQ((left + 2.0) / 2.0, 2.0);
+  Dataset data;
+  for (int rep = 0; rep < 2; ++rep) {
+    data.add_row(std::vector<double>{left}, 1.0);
+    data.add_row(std::vector<double>{2.0}, 5.0);
+  }
+  TreeParams params;
+  params.min_samples_leaf = 1;
+  params.min_samples_split = 2;
+  DecisionTreeRegressor tree{params};
+  tree.fit(data);
+  EXPECT_DOUBLE_EQ(tree.predict_row(std::vector<double>{left}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict_row(std::vector<double>{2.0}), 5.0);
 }
 
 }  // namespace

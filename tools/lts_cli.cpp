@@ -9,6 +9,11 @@
 //   lts schedule  --model-file FILE [--seed S] [--app TYPE]
 //                 [--records N] [--executors E] [--features SET]
 //                 [--faults FILE] [--at T] [--degraded] [--max-staleness S]
+//   lts stream    --model-file FILE [--policy model|model-retrain|kube|random]
+//                 [--jobs N] [--interarrival S] [--seed S] [--features SET]
+//                 [--faults FILE] [--drift] [--degraded] [--max-staleness S]
+//                 [--retrain-every K] [--retrain-window N] [--retrain-model M]
+//                 [--drift-threshold X] [--model-out FILE]
 //   lts whatif    [--seed S] [--app TYPE] [--records N] [--executors E]
 //
 // SET is "table1" (paper) or "rich" (§8 extension). --faults FILE injects a
@@ -17,6 +22,13 @@
 // the scheduler's staleness/fallback policies (and makes --model-file
 // optional: with no model every decision uses the fallback ranking). All
 // commands are self-contained simulations; no external services are needed.
+//
+// `lts stream` runs a live job stream under one placement policy. With
+// --policy model-retrain the scheduler retrains online: every K completions
+// (or when the prediction-error EWMA exceeds --drift-threshold) it refits
+// on the rolling window and hot-swaps the model; --model-out saves the
+// final versioned model. --drift overlays a deterministic escalating WAN
+// degradation staircase so the network actually shifts mid-stream.
 //
 // Observability (evaluate/schedule/query): --metrics-out FILE enables the
 // lts::obs metrics registry and writes a Prometheus text-format dump after
@@ -41,6 +53,7 @@
 #include "exp/evaluate.hpp"
 #include "exp/figures.hpp"
 #include "exp/scenario.hpp"
+#include "exp/stream.hpp"
 #include "telemetry/promql.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -143,6 +156,30 @@ std::vector<fault::FaultSpec> faults_from_args(const Args& args) {
   return fault::faults_from_json(Json::parse(text.str()));
 }
 
+/// Loads a model envelope with a clean diagnostic on failure (unreadable
+/// file, corrupt JSON, unknown model type — the load path reports the file
+/// and the reason instead of letting a raw parse exception escape). With
+/// `allow_fallback` (--degraded), a bad model file degrades to the
+/// spreading fallback ranking (null model) instead of aborting the command.
+std::shared_ptr<const ml::Regressor> load_model_cli(const std::string& path,
+                                                    bool allow_fallback) {
+  try {
+    auto loaded = ml::load_model_envelope(path);
+    if (loaded.version > 0) {
+      std::fprintf(stderr, "loaded %s (model version %llu)\n", path.c_str(),
+                   static_cast<unsigned long long>(loaded.version));
+    }
+    return std::shared_ptr<const ml::Regressor>(std::move(loaded.model));
+  } catch (const std::exception& e) {
+    if (!allow_fallback) throw;
+    std::fprintf(stderr,
+                 "warning: %s\nwarning: --degraded set, continuing with the "
+                 "fallback spreading heuristic (no model)\n",
+                 e.what());
+    return nullptr;
+  }
+}
+
 spark::JobConfig job_from_args(const Args& args) {
   spark::JobConfig job;
   job.app = spark::app_type_from_string(args.get("app", "sort"));
@@ -219,8 +256,8 @@ int cmd_train(const Args& args) {
 int cmd_evaluate(const Args& args) {
   ObsSink obs_sink(args);
   const auto set = feature_set(args);
-  auto model = std::shared_ptr<const ml::Regressor>(
-      ml::load_model(args.require("model-file")));
+  const auto model =
+      load_model_cli(args.require("model-file"), /*allow_fallback=*/false);
   exp::EvalOptions eval;
   eval.num_scenarios = static_cast<int>(args.get_int("scenarios", 60));
   eval.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 770000));
@@ -245,7 +282,8 @@ int cmd_schedule(const Args& args) {
   // --model-file becomes optional (useful to inspect the pure fallback).
   std::shared_ptr<const ml::Regressor> model;
   if (!args.get_flag("degraded") || !args.get("model-file", "").empty()) {
-    model = ml::load_model(args.require("model-file"));
+    model = load_model_cli(args.require("model-file"),
+                           args.get_flag("degraded"));
   }
   const auto job = job_from_args(args);
   exp::EnvOptions env_options;
@@ -281,6 +319,99 @@ int cmd_schedule(const Args& args) {
   }
   std::printf("%s", scheduler.build_manifest(job, "lts-cli-job", decision)
                         .c_str());
+  obs_sink.flush();
+  return 0;
+}
+
+int cmd_stream(const Args& args) {
+  ObsSink obs_sink(args);
+  const std::string policy_name = args.get("policy", "model");
+  exp::StreamPolicy policy;
+  if (policy_name == "model") {
+    policy = exp::StreamPolicy::kModel;
+  } else if (policy_name == "model-retrain") {
+    policy = exp::StreamPolicy::kModelRetrain;
+  } else if (policy_name == "kube") {
+    policy = exp::StreamPolicy::kKubeDefault;
+  } else if (policy_name == "random") {
+    policy = exp::StreamPolicy::kRandom;
+  } else {
+    throw Error("unknown --policy (use model, model-retrain, kube or "
+                "random): " + policy_name);
+  }
+
+  exp::StreamOptions stream;
+  stream.num_jobs = static_cast<int>(args.get_int("jobs", 30));
+  stream.mean_interarrival = args.get_double("interarrival", 12.0);
+  stream.seed = static_cast<std::uint64_t>(args.get_int("seed", 118));
+  stream.features = feature_set(args);
+  stream.env.faults = faults_from_args(args);
+  if (args.get_flag("degraded")) {
+    stream.degradation.enabled = true;
+    stream.degradation.max_staleness = args.get_double("max-staleness", 10.0);
+    stream.fallback.enabled = true;
+  }
+  stream.retrain.retrain_every = static_cast<int>(
+      args.get_int("retrain-every", stream.retrain.retrain_every));
+  stream.retrain.window_size = static_cast<std::size_t>(args.get_int(
+      "retrain-window", static_cast<long long>(stream.retrain.window_size)));
+  stream.retrain.drift_threshold =
+      args.get_double("drift-threshold", stream.retrain.drift_threshold);
+  stream.retrain.model_name =
+      args.get("retrain-model", stream.retrain.model_name);
+  if (args.get_flag("drift")) {
+    const auto drift = exp::generate_drift_schedule(stream.env.cluster_spec,
+                                                    stream.seed);
+    stream.env.faults.insert(stream.env.faults.end(), drift.begin(),
+                             drift.end());
+  }
+
+  const bool model_policy = policy == exp::StreamPolicy::kModel ||
+                            policy == exp::StreamPolicy::kModelRetrain;
+  std::shared_ptr<const ml::Regressor> model;
+  if (model_policy &&
+      (!args.get_flag("degraded") || !args.get("model-file", "").empty())) {
+    model = load_model_cli(args.require("model-file"),
+                           args.get_flag("degraded"));
+  }
+
+  const auto run = exp::run_job_stream(policy, model,
+                                       exp::paper_scenario_matrix(), stream);
+  const auto summary = exp::summarize_stream(run);
+
+  AsciiTable table({"metric", "value"});
+  table.add_row({"jobs", std::to_string(summary.jobs)});
+  table.add_row({"mean JCT (s)", strformat("%.2f", summary.mean_jct)});
+  table.add_row({"p50 JCT (s)", strformat("%.2f", summary.p50_jct)});
+  table.add_row({"p95 JCT (s)", strformat("%.2f", summary.p95_jct)});
+  table.add_row({"p99 JCT (s)", strformat("%.2f", summary.p99_jct)});
+  table.add_row({"makespan (s)", strformat("%.2f", summary.makespan)});
+  if (policy == exp::StreamPolicy::kModelRetrain) {
+    table.add_row({"model version", std::to_string(summary.model_version)});
+    table.add_row({"retrains", std::to_string(summary.retrains)});
+    table.add_row({"retrain failures",
+                   std::to_string(summary.retrain_failures)});
+    table.add_row({"retrain skips", std::to_string(summary.retrain_skips)});
+  }
+  std::printf("%s", table.render("Stream (" + policy_name + ")").c_str());
+  for (const auto& event : run.retrain_events) {
+    std::printf("retrain -> %s: version %llu, %zu rows, drift %.3f%s (%s)\n",
+                core::to_string(event.outcome).c_str(),
+                static_cast<unsigned long long>(event.version),
+                event.window_rows, event.drift_score,
+                event.drift_triggered ? " [drift-triggered]" : "",
+                event.detail.c_str());
+  }
+
+  const std::string model_out = args.get("model-out", "");
+  if (!model_out.empty()) {
+    LTS_REQUIRE(run.final_model != nullptr,
+                "lts stream: --model-out needs --policy model-retrain");
+    ml::save_model(*run.final_model, model_out, run.model_version);
+    std::printf("model (version %llu) written to %s\n",
+                static_cast<unsigned long long>(run.model_version),
+                model_out.c_str());
+  }
   obs_sink.flush();
   return 0;
 }
@@ -339,7 +470,8 @@ int cmd_whatif(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: lts <topology|collect|train|evaluate|schedule|whatif|query> "
+               "usage: lts "
+               "<topology|collect|train|evaluate|schedule|stream|whatif|query> "
                "[--flags]\n(see the header of tools/lts_cli.cpp)\n");
 }
 
@@ -358,6 +490,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "schedule") return cmd_schedule(args);
+    if (command == "stream") return cmd_stream(args);
     if (command == "whatif") return cmd_whatif(args);
     if (command == "query") return cmd_query(args);
     usage();
