@@ -1,6 +1,9 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <optional>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -151,6 +154,162 @@ Decision LtsScheduler::schedule_from_snapshot(
   if (stale_demoted > 0) metrics.stale_demoted.inc(stale_demoted);
   tracer.phase("rank", snapshot.at);
   return decision;
+}
+
+std::vector<Decision> LtsScheduler::schedule_many(
+    std::span<const spark::JobConfig> configs, SimTime now) const {
+  const auto snapshot = fetcher_.fetch_shared(now);
+  return schedule_batch(*snapshot, configs, /*own_spans=*/true, now);
+}
+
+std::vector<Decision> LtsScheduler::schedule_many_from_snapshot(
+    const telemetry::ClusterSnapshot& snapshot,
+    std::span<const spark::JobConfig> configs) const {
+  return schedule_batch(snapshot, configs, /*own_spans=*/false, snapshot.at);
+}
+
+std::vector<Decision> LtsScheduler::schedule_batch(
+    const telemetry::ClusterSnapshot& snapshot,
+    std::span<const spark::JobConfig> configs, bool own_spans,
+    SimTime span_begin) const {
+  obs::Tracer& tracer = obs::Tracer::global();
+  auto& metrics = SchedulerMetrics::get();
+  std::vector<Decision> decisions;
+  decisions.reserve(configs.size());
+  if (configs.empty()) return decisions;
+
+  // One pointer snapshot for the whole queue: sequential schedule() calls
+  // take it per decision, but the sequences only differ if a hot-swap lands
+  // mid-queue — exactly the window batching is meant to close.
+  const std::shared_ptr<const ml::Regressor> model = current_model();
+  const bool model_usable = model != nullptr && model->is_fitted();
+  bool use_fallback = false;
+  if (fallback_.enabled) {
+    std::size_t fresh = 0;
+    for (const auto& node : snapshot.nodes) {
+      if (!node.stale) ++fresh;
+    }
+    const bool snapshot_trusted =
+        !snapshot.nodes.empty() &&
+        static_cast<double>(fresh) >=
+            fallback_.min_fresh_fraction *
+                static_cast<double>(snapshot.nodes.size());
+    use_fallback = !model_usable || !snapshot_trusted;
+  }
+
+  // One row-major feature block over every (pod, node) candidate, one
+  // batched predict. Rows are grouped by config, nodes in snapshot order
+  // within each group — the same per-row vectors the scalar path builds.
+  //
+  // Queues are full of replicas: a deployment submits N pods with one spec,
+  // and the workload model draws from a handful of app templates, so many
+  // candidate rows are bit-for-bit equal. Each distinct row is scored once
+  // and the result fanned out. Dedup keys on exact byte equality of the
+  // feature vector — never a tolerance — so a prediction lands on exactly
+  // the rows that would have produced it anyway and no decision can differ
+  // from the undeduplicated block.
+  const std::size_t n_nodes = snapshot.nodes.size();
+  const std::size_t cols = FeatureConstructor::num_features(features_);
+  std::vector<double> scores;
+  if (!use_fallback) {
+    const std::size_t n_rows = configs.size() * n_nodes;
+    std::vector<double> block;          // distinct rows only
+    block.reserve(n_rows * cols);
+    std::vector<std::size_t> row_of;    // candidate row -> distinct row
+    row_of.reserve(n_rows);
+    // Open-addressed probe table keyed by a 64-bit mix of the raw double
+    // bits; hash matches still compare the full row, so equality is exact.
+    std::size_t cap = 16;
+    while (cap < n_rows * 2) cap <<= 1;
+    std::vector<std::int32_t> slot(cap, -1);  // distinct-row index
+    std::vector<std::uint64_t> slot_hash(cap);
+    for (const auto& config : configs) {
+      for (const auto& node : snapshot.nodes) {
+        const auto row = FeatureConstructor::build(node, config, features_);
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (const double v : row) {
+          h ^= std::bit_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL +
+               (h << 6) + (h >> 2);
+        }
+        std::size_t s = h & (cap - 1);
+        std::size_t found = block.size() / cols;
+        while (slot[s] >= 0) {
+          const auto u = static_cast<std::size_t>(slot[s]);
+          if (slot_hash[s] == h &&
+              std::equal(row.begin(), row.end(),
+                         block.begin() +
+                             static_cast<std::ptrdiff_t>(u * cols))) {
+            found = u;
+            break;
+          }
+          s = (s + 1) & (cap - 1);
+        }
+        if (found == block.size() / cols) {
+          slot[s] = static_cast<std::int32_t>(found);
+          slot_hash[s] = h;
+          block.insert(block.end(), row.begin(), row.end());
+        }
+        row_of.push_back(found);
+      }
+    }
+    const std::size_t n_unique = block.size() / cols;
+    std::vector<double> unique_scores(n_unique);
+    if (risk_aversion_ > 0.0) {
+      // Uncertainty needs the per-tree spread, which the flattened kernel
+      // does not expose; score row by row (still one snapshot fetch).
+      for (std::size_t u = 0; u < n_unique; ++u) {
+        const auto p = model->predict_with_uncertainty(
+            std::span<const double>(block).subspan(u * cols, cols));
+        unique_scores[u] = p.mean + risk_aversion_ * p.stddev;
+      }
+    } else {
+      model->predict_batch(block, n_unique, cols, unique_scores);
+    }
+    scores.resize(n_rows);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      scores[r] = unique_scores[row_of[r]];
+    }
+  }
+
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    // Per-decision span bookkeeping replicates the sequential calls: with
+    // own_spans each decision gets its own "schedule" span (joined to the
+    // caller's if one is open) starting with a "fetch" phase — the fetch
+    // that logically served it came from the cache.
+    std::optional<obs::ScopedSpan> span;
+    if (own_spans) {
+      span.emplace(tracer, "schedule", span_begin, /*reuse_open=*/true);
+      span->phase("fetch", span_begin);
+    }
+    metrics.decisions.inc();
+    if (use_fallback) {
+      metrics.fallbacks.inc();
+      decisions.push_back(fallback_rank(snapshot));
+      tracer.phase("rank", snapshot.at);
+      continue;
+    }
+    tracer.phase("features", snapshot.at);
+    Decision decision;
+    std::vector<NodePrediction> predictions;
+    predictions.reserve(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const auto& node = snapshot.nodes[i];
+      double score = scores[c * n_nodes + i];
+      if (fallback_.enabled && fallback_.demote_stale && node.stale) {
+        score += kStaleDemotionPenalty;
+        ++decision.stale_demoted;
+      }
+      predictions.push_back(NodePrediction{node.node, score});
+    }
+    tracer.phase("predict", snapshot.at);
+    const int stale_demoted = decision.stale_demoted;
+    decision = DecisionModule::rank(std::move(predictions));
+    decision.stale_demoted = stale_demoted;
+    if (stale_demoted > 0) metrics.stale_demoted.inc(stale_demoted);
+    tracer.phase("rank", snapshot.at);
+    decisions.push_back(std::move(decision));
+  }
+  return decisions;
 }
 
 Decision LtsScheduler::fallback_rank(

@@ -10,7 +10,9 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/decision.hpp"
 #include "core/features.hpp"
@@ -62,6 +64,24 @@ class LtsScheduler {
   Decision schedule_from_snapshot(const telemetry::ClusterSnapshot& snapshot,
                                   const spark::JobConfig& config) const;
 
+  /// Batched serving path: ranks a whole queue of pending pods in one pass
+  /// — one (cached) snapshot fetch, one feature block over every
+  /// (pod, node) candidate, one batched model prediction. The decision
+  /// sequence (nodes, scores, fallback/demotion flags, trace spans, metric
+  /// counts) is bit-identical to calling schedule() once per config at the
+  /// same `now`: predict_batch reproduces predict_row exactly, and the
+  /// cached snapshot is keyed on (TSDB epoch, now) so it equals a fresh
+  /// fetch by construction.
+  std::vector<Decision> schedule_many(
+      std::span<const spark::JobConfig> configs, SimTime now) const;
+
+  /// Batched variant of schedule_from_snapshot: same contract, no fetch
+  /// (and, like schedule_from_snapshot, no span of its own — phases land on
+  /// whatever span the caller has open).
+  std::vector<Decision> schedule_many_from_snapshot(
+      const telemetry::ClusterSnapshot& snapshot,
+      std::span<const spark::JobConfig> configs) const;
+
   /// The manifest for a decision (Job Builder output).
   std::string build_manifest(const spark::JobConfig& config,
                              const std::string& job_name,
@@ -88,6 +108,15 @@ class LtsScheduler {
   /// with low CPU load and plenty of free memory. Used when the model or
   /// the snapshot cannot be trusted.
   Decision fallback_rank(const telemetry::ClusterSnapshot& snapshot) const;
+
+  /// Shared body of the two batched entry points. With `own_spans`, every
+  /// decision opens (or joins) a "schedule" span beginning at `span_begin`
+  /// and marks a "fetch" phase first — mirroring schedule(); without, only
+  /// the pipeline phases are marked — mirroring schedule_from_snapshot.
+  std::vector<Decision> schedule_batch(
+      const telemetry::ClusterSnapshot& snapshot,
+      std::span<const spark::JobConfig> configs, bool own_spans,
+      SimTime span_begin) const;
 
   TelemetryFetcher fetcher_;
   /// Guards model_ only: decisions copy the shared_ptr once, hot-swaps

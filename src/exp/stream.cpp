@@ -131,21 +131,25 @@ StreamResult run_job_stream(StreamPolicy policy,
       case StreamPolicy::kModelRetrain: {
         // Fetch explicitly (instead of scheduler->schedule) so the same
         // snapshot that produced the decision can seed the training row.
-        // schedule() is exactly fetch + schedule_from_snapshot, so the
-        // kModel decision sequence is unchanged.
+        // The batched serving path — fetch_shared (epoch-keyed cache, no
+        // copy) + a batch-of-one schedule_many_from_snapshot (flattened
+        // predict_batch) — is bit-identical to the scalar
+        // fetch + schedule_from_snapshot it replaces, so the kModel
+        // decision sequence is unchanged.
         const SimTime now = env.engine().now();
-        const auto snapshot = scheduler->fetcher().fetch(now);
+        const auto snapshot = scheduler->fetcher().fetch_shared(now);
         if (span) span->phase("fetch", now);
         const auto decision =
-            scheduler->schedule_from_snapshot(snapshot, config);
+            scheduler->schedule_many_from_snapshot(*snapshot, {&config, 1})
+                .front();
         driver_node = env.cluster().node_index(decision.selected());
         if (retrainer) {
           PendingFeedback& fb = feedback[j];
           fb.valid = true;
           fb.record.scenario_id = planned.scenario->id;
           fb.record.node = decision.selected();
-          fb.record.snapshot_time = snapshot.at;
-          fb.record.telemetry = snapshot.by_name(decision.selected());
+          fb.record.snapshot_time = snapshot->at;
+          fb.record.telemetry = snapshot->by_name(decision.selected());
           fb.record.config = config;
           // Fallback rankings carry heuristic scores, not durations;
           // OnlineTrainer also rejects stale-demoted scores (>= 1e8).

@@ -169,6 +169,9 @@ void FaultInjector::crash_node(const std::string& node) {
   cut_link_capacity(cluster_.node_downlink(idx), 0.0);
   cluster_.flows().invalidate_rates();
   if (api_ != nullptr) api_->set_node_ready(node, false);
+  // The node's exporters stop answering (they consult node_down): cached
+  // snapshots must not keep serving its last pre-crash heartbeat age.
+  bump_telemetry_epoch();
 }
 
 void FaultInjector::recover_node(const std::string& node) {
@@ -184,6 +187,8 @@ void FaultInjector::recover_node(const std::string& node) {
   cluster_.flows().reset_host_counters(cluster_.node(idx).vertex());
   cluster_.flows().invalidate_rates();
   if (api_ != nullptr) api_->set_node_ready(node, true);
+  // Counter semantics just changed under every cached snapshot.
+  bump_telemetry_epoch();
 }
 
 void FaultInjector::degrade_wan_link(const std::string& site_a,
@@ -238,19 +243,23 @@ void FaultInjector::heal_site(const std::string& site) {
 
 void FaultInjector::silence_exporter(const std::string& node) {
   exporter_for(node).set_silenced(true);
+  bump_telemetry_epoch();
 }
 
 void FaultInjector::unsilence_exporter(const std::string& node) {
   exporter_for(node).set_silenced(false);
+  bump_telemetry_epoch();
 }
 
 void FaultInjector::delay_exporter(const std::string& node,
                                    SimTime report_delay) {
   exporter_for(node).set_report_delay(report_delay);
+  bump_telemetry_epoch();
 }
 
 void FaultInjector::undelay_exporter(const std::string& node) {
   exporter_for(node).set_report_delay(0.0);
+  bump_telemetry_epoch();
 }
 
 void FaultInjector::fail_retrains() { retrain_fail_active_ = true; }
@@ -266,6 +275,10 @@ net::LinkId FaultInjector::wan_forward_link(const std::string& site_a,
     }
   }
   throw Error("fault: no WAN link between " + site_a + " and " + site_b);
+}
+
+void FaultInjector::bump_telemetry_epoch() {
+  if (telemetry_ != nullptr) telemetry_->tsdb().bump_epoch();
 }
 
 telemetry::NodeExporter& FaultInjector::exporter_for(const std::string& node) {

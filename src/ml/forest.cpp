@@ -96,6 +96,7 @@ void RandomForestRegressor::fit(const Dataset& data) {
   refit_generation_ = 0;
   std::vector<std::vector<std::size_t>> bags;
   trees_ = grow_trees(data, n_trees, /*salt=*/0, &bags);
+  rebuild_flat();
 
   if (params_.compute_oob && params_.bootstrap) {
     std::vector<double> oob_sum(n, 0.0);
@@ -142,8 +143,38 @@ void RandomForestRegressor::refit(const Dataset& data) {
   }
   for (auto& tree : fresh) next.push_back(std::move(tree));
   trees_ = std::move(next);
+  rebuild_flat();
   // OOB score would mix windows; clear it rather than report a stale one.
   oob_r2_ = std::numeric_limits<double>::quiet_NaN();
+}
+
+void RandomForestRegressor::rebuild_flat() {
+  flat_.clear();
+  if (trees_.empty()) return;  // unfitted round-trip: nothing to flatten
+  for (const auto& tree : trees_) {
+    if (!flat_.try_add_tree(std::span<const TreeNode>(tree->nodes()))) {
+      flat_.clear();  // oversized tree: serve through the scalar walk
+      return;
+    }
+  }
+  // predict_row computes (t0 + t1 + ...)/n; the same divisor reproduces it
+  // bit for bit because the flat kernel sums in tree order too.
+  flat_.set_divisor(static_cast<double>(trees_.size()));
+}
+
+void RandomForestRegressor::predict_batch(std::span<const double> x,
+                                          std::size_t rows, std::size_t cols,
+                                          std::span<double> out) const {
+  LTS_REQUIRE(is_fitted(), "RandomForest: not fitted");
+  LTS_REQUIRE(cols == num_features_, "RandomForest: feature width mismatch");
+  LTS_REQUIRE(x.size() >= rows * cols,
+              "RandomForest: feature block smaller than rows * cols");
+  LTS_REQUIRE(out.size() >= rows, "RandomForest: output span too small");
+  if (flat_.empty()) {  // oversized tree bailed out of flattening
+    Regressor::predict_batch(x, rows, cols, out);
+    return;
+  }
+  flat_.predict(x.data(), rows, cols, out.data());
 }
 
 double RandomForestRegressor::predict_row(
@@ -199,6 +230,7 @@ void RandomForestRegressor::from_json(const Json& j) {
     tree->from_json(entry);
     trees_.push_back(std::move(tree));
   }
+  rebuild_flat();
 }
 
 std::vector<double> RandomForestRegressor::feature_importances() const {

@@ -40,6 +40,8 @@ class RandomForestRegressor : public Regressor {
   /// score is cleared (it would mix windows).
   void refit(const Dataset& data) override;
   double predict_row(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> x, std::size_t rows,
+                     std::size_t cols, std::span<double> out) const override;
   /// Mean and standard deviation of the per-tree predictions: the classic
   /// bagging uncertainty estimate.
   Prediction predict_with_uncertainty(
@@ -73,10 +75,14 @@ class RandomForestRegressor : public Regressor {
   std::vector<std::unique_ptr<DecisionTreeRegressor>> grow_trees(
       const Dataset& data, std::size_t count, std::uint64_t salt,
       std::vector<std::vector<std::size_t>>* bags);
+  /// Re-flattens the whole ensemble (in tree order, with the tree count as
+  /// the mean divisor); called wherever trees_ changes.
+  void rebuild_flat();
 
   ForestParams params_;
   ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
+  FlatEnsemble flat_;  // SoA mirror of trees_ for batched prediction
   std::size_t num_features_ = 0;
   std::uint64_t refit_generation_ = 0;
   double oob_r2_ = std::numeric_limits<double>::quiet_NaN();

@@ -212,6 +212,7 @@ void GradientBoostedTrees::fit(const Dataset& data) {
     best_val_rmse_ = best_rmse;
   }
   fitted_ = true;
+  rebuild_flat();
 }
 
 void GradientBoostedTrees::boost_one_round(
@@ -281,6 +282,35 @@ void GradientBoostedTrees::refit(const Dataset& data) {
     boost_one_round(data, train_rows, pred, grad, hess, rng);
   }
   best_val_rmse_ = std::numeric_limits<double>::quiet_NaN();
+  rebuild_flat();
+}
+
+void GradientBoostedTrees::rebuild_flat() {
+  flat_.clear();
+  for (const auto& tree : trees_) {
+    if (!flat_.try_add_tree(std::span<const GbtNode>(tree))) {
+      flat_.clear();  // oversized tree: serve through the scalar walk
+      return;
+    }
+  }
+  // predict_row computes ((base + t0) + t1) + ...; seeding the accumulator
+  // with base_score_ reproduces that addition order bit for bit.
+  flat_.set_init(base_score_);
+}
+
+void GradientBoostedTrees::predict_batch(std::span<const double> x,
+                                         std::size_t rows, std::size_t cols,
+                                         std::span<double> out) const {
+  LTS_REQUIRE(fitted_, "GBT: not fitted");
+  LTS_REQUIRE(cols == num_features_, "GBT: feature width mismatch");
+  LTS_REQUIRE(x.size() >= rows * cols,
+              "GBT: feature block smaller than rows * cols");
+  LTS_REQUIRE(out.size() >= rows, "GBT: output span too small");
+  if (flat_.empty() && !trees_.empty()) {  // oversized tree bailed out
+    Regressor::predict_batch(x, rows, cols, out);
+    return;
+  }
+  flat_.predict(x.data(), rows, cols, out.data());
 }
 
 double GradientBoostedTrees::tree_predict(const std::vector<GbtNode>& tree,
@@ -356,6 +386,7 @@ void GradientBoostedTrees::from_json(const Json& j) {
     trees_.push_back(std::move(tree));
   }
   importance_ = j.at("importance").to_doubles();
+  rebuild_flat();
 }
 
 std::vector<double> GradientBoostedTrees::feature_importances() const {

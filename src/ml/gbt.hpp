@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "ml/flat.hpp"
 #include "ml/model.hpp"
 #include "util/rng.hpp"
 
@@ -64,6 +65,8 @@ class GradientBoostedTrees : public Regressor {
   /// validation RMSE is cleared (it described an older window).
   void refit(const Dataset& data) override;
   double predict_row(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> x, std::size_t rows,
+                     std::size_t cols, std::span<double> out) const override;
   bool is_fitted() const override { return fitted_; }
   std::string name() const override { return "xgboost"; }
   Json to_json() const override;
@@ -91,12 +94,16 @@ class GradientBoostedTrees : public Regressor {
                        std::vector<double>& hess, Rng& rng);
   static double tree_predict(const std::vector<GbtNode>& tree,
                              std::span<const double> features);
+  /// Re-flattens the ensemble (tree order, base_score as the accumulator
+  /// seed); called wherever trees_ or base_score_ changes.
+  void rebuild_flat();
 
   GbtParams params_;
   bool fitted_ = false;
   double base_score_ = 0.0;
   std::size_t num_features_ = 0;
   std::vector<std::vector<GbtNode>> trees_;
+  FlatEnsemble flat_;  // SoA mirror of trees_ for batched prediction
   std::vector<double> importance_;  // raw gain per feature
   double best_val_rmse_ = std::numeric_limits<double>::quiet_NaN();
 };

@@ -13,12 +13,23 @@
 
 namespace lts::ml {
 
-std::vector<double> Regressor::predict(const Matrix& x) const {
-  std::vector<double> out;
-  out.reserve(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    out.push_back(predict_row(x.row(i)));
+void Regressor::predict_batch(std::span<const double> x, std::size_t rows,
+                              std::size_t cols,
+                              std::span<double> out) const {
+  LTS_REQUIRE(x.size() >= rows * cols,
+              "predict_batch: feature block smaller than rows * cols");
+  LTS_REQUIRE(out.size() >= rows, "predict_batch: output span too small");
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = predict_row(x.subspan(r * cols, cols));
   }
+}
+
+std::vector<double> Regressor::predict(const Matrix& x) const {
+  // Matrix rows are contiguous row-major, exactly the predict_batch block
+  // layout, so bulk prediction (GBT refit residuals, evaluation sweeps)
+  // rides the flattened kernels for free.
+  std::vector<double> out(x.rows(), 0.0);
+  predict_batch(x.data(), x.rows(), x.cols(), out);
   return out;
 }
 
@@ -53,6 +64,14 @@ void LogTargetRegressor::refit(const Dataset& data) {
 double LogTargetRegressor::predict_row(
     std::span<const double> features) const {
   return std::exp(inner_->predict_row(features));
+}
+
+void LogTargetRegressor::predict_batch(std::span<const double> x,
+                                       std::size_t rows, std::size_t cols,
+                                       std::span<double> out) const {
+  // Same per-row computation as predict_row: exp of the inner prediction.
+  inner_->predict_batch(x, rows, cols, out);
+  for (std::size_t r = 0; r < rows; ++r) out[r] = std::exp(out[r]);
 }
 
 Prediction LogTargetRegressor::predict_with_uncertainty(

@@ -45,6 +45,15 @@ class Regressor {
   /// Predicts the target for one feature vector. Requires is_fitted().
   virtual double predict_row(std::span<const double> features) const = 0;
 
+  /// Batched prediction over a row-major feature block: `rows` vectors of
+  /// `cols` doubles each, contiguous in `x`; one prediction per row is
+  /// written to `out` (size >= rows). Bit-identical to predict_row on each
+  /// row — tree ensembles override this with a flattened SoA traversal that
+  /// accumulates in the same order as the pointer walk (the serving hot
+  /// path); the default loops predict_row.
+  virtual void predict_batch(std::span<const double> x, std::size_t rows,
+                             std::size_t cols, std::span<double> out) const;
+
   std::vector<double> predict(const Matrix& x) const;
 
   /// Point prediction plus uncertainty. The default wraps predict_row with
@@ -82,6 +91,8 @@ class LogTargetRegressor : public Regressor {
   void fit(const Dataset& data) override;
   void refit(const Dataset& data) override;
   double predict_row(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> x, std::size_t rows,
+                     std::size_t cols, std::span<double> out) const override;
   bool is_fitted() const override;
   Prediction predict_with_uncertainty(
       std::span<const double> features) const override;

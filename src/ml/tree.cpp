@@ -61,6 +61,17 @@ void DecisionTreeRegressor::fit_on(const Dataset& data,
   std::vector<std::size_t> working(rows.begin(), rows.end());
   SplitScratch scratch;
   build(data, working, 0, working.size(), 0, rng, scratch);
+  rebuild_flat();
+}
+
+void DecisionTreeRegressor::rebuild_flat() {
+  flat_.clear();
+  // An unfitted tree round-tripped through JSON has no nodes; leave the
+  // flat form empty rather than register a rootless tree. A tree too large
+  // to flatten (beyond any default depth cap) also stays empty —
+  // predict_batch then falls back to the scalar walk.
+  if (nodes_.empty()) return;
+  if (!flat_.try_add_tree(std::span<const TreeNode>(nodes_))) flat_.clear();
 }
 
 int DecisionTreeRegressor::build(const Dataset& data,
@@ -198,6 +209,21 @@ double DecisionTreeRegressor::predict_row(
   return nodes_[static_cast<std::size_t>(idx)].value;
 }
 
+void DecisionTreeRegressor::predict_batch(std::span<const double> x,
+                                          std::size_t rows, std::size_t cols,
+                                          std::span<double> out) const {
+  LTS_REQUIRE(is_fitted(), "DecisionTree: not fitted");
+  LTS_REQUIRE(cols == num_features_, "DecisionTree: feature width mismatch");
+  LTS_REQUIRE(x.size() >= rows * cols,
+              "DecisionTree: feature block smaller than rows * cols");
+  LTS_REQUIRE(out.size() >= rows, "DecisionTree: output span too small");
+  if (flat_.empty()) {  // oversized tree bailed out of flattening
+    Regressor::predict_batch(x, rows, cols, out);
+    return;
+  }
+  flat_.predict(x.data(), rows, cols, out.data());
+}
+
 Json DecisionTreeRegressor::to_json() const {
   Json j = Json::object();
   j["params"] = params_.to_json();
@@ -236,6 +262,7 @@ void DecisionTreeRegressor::from_json(const Json& j) {
     nodes_.push_back(node);
   }
   importance_ = j.at("importance").to_doubles();
+  rebuild_flat();
 }
 
 std::vector<double> DecisionTreeRegressor::feature_importances() const {

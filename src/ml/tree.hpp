@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "ml/flat.hpp"
 #include "ml/model.hpp"
 #include "util/rng.hpp"
 
@@ -48,6 +49,8 @@ class DecisionTreeRegressor : public Regressor {
               Rng& rng);
 
   double predict_row(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> x, std::size_t rows,
+                     std::size_t cols, std::span<double> out) const override;
   bool is_fitted() const override { return !nodes_.empty(); }
   std::string name() const override { return "decision_tree"; }
   Json to_json() const override;
@@ -76,6 +79,9 @@ class DecisionTreeRegressor : public Regressor {
   int build(const Dataset& data, std::vector<std::size_t>& rows,
             std::size_t begin, std::size_t end, int depth, Rng& rng,
             SplitScratch& scratch);
+  /// Regenerates flat_ from nodes_; called wherever nodes_ changes
+  /// (fit_on, from_json). flat_ is derived state, never serialized.
+  void rebuild_flat();
   std::optional<Split> best_split(const Dataset& data,
                                   std::span<const std::size_t> rows, Rng& rng,
                                   SplitScratch& scratch) const;
@@ -84,6 +90,7 @@ class DecisionTreeRegressor : public Regressor {
   std::uint64_t seed_;
   std::size_t num_features_ = 0;
   std::vector<TreeNode> nodes_;
+  FlatEnsemble flat_;  // SoA mirror of nodes_ for batched prediction
   std::vector<double> importance_;  // raw SSE decrease per feature
 };
 

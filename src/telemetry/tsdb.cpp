@@ -53,6 +53,9 @@ std::string encode_series_key(const std::string& name, const Labels& labels) {
 
 void Tsdb::append(const std::string& name, const Labels& labels, SimTime t,
                   double v) {
+  // Even a dropped sample advances the epoch: the drop counters changed,
+  // and a conservative invalidation is always safe.
+  ++epoch_;
   const std::string key = encode_series_key(name, labels);
   auto it = series_.find(key);
   if (it == series_.end()) {

@@ -9,6 +9,7 @@
 //   lts schedule  --model-file FILE [--seed S] [--app TYPE]
 //                 [--records N] [--executors E] [--features SET]
 //                 [--faults FILE] [--at T] [--degraded] [--max-staleness S]
+//                 [--queue N]
 //   lts stream    --model-file FILE [--policy model|model-retrain|kube|random]
 //                 [--jobs N] [--interarrival S] [--seed S] [--features SET]
 //                 [--faults FILE] [--drift] [--degraded] [--max-staleness S]
@@ -22,6 +23,10 @@
 // the scheduler's staleness/fallback policies (and makes --model-file
 // optional: with no model every decision uses the fallback ranking). All
 // commands are self-contained simulations; no external services are needed.
+// --queue N ranks a queue of N pending jobs (the requested job plus N-1
+// variants cycling the app mix) in one batched schedule_many pass: one
+// cached snapshot fetch, one flattened-tree predict over every (pod, node)
+// candidate.
 //
 // `lts stream` runs a live job stream under one placement policy. With
 // --policy model-retrain the scheduler retrains online: every K completions
@@ -304,6 +309,40 @@ int cmd_schedule(const Args& args) {
   core::LtsScheduler scheduler(
       core::TelemetryFetcher(env.tsdb(), env.node_names(), {}, degradation),
       model, set, /*risk_aversion=*/0.0, fallback);
+  const auto queue = args.get_int("queue", 1);
+  if (queue > 1) {
+    // Batched serving path: the requested job plus queue-1 variants cycling
+    // the app mix, ranked in one schedule_many pass (one cached snapshot
+    // fetch, one batched predict over every (pod, node) candidate).
+    std::vector<spark::JobConfig> configs;
+    for (long long q = 0; q < queue; ++q) {
+      spark::JobConfig item = job;
+      item.app = spark::kAllAppTypes[static_cast<std::size_t>(q) %
+                                     spark::kNumAppTypes];
+      configs.push_back(item);
+    }
+    const auto decisions =
+        scheduler.schedule_many(configs, env.engine().now());
+    AsciiTable table({"job", "app", "node", "predicted duration (s)",
+                      "note"});
+    for (std::size_t q = 0; q < decisions.size(); ++q) {
+      const auto& d = decisions[q];
+      std::string note;
+      if (d.used_fallback) {
+        note = "fallback";
+      } else if (d.stale_demoted > 0) {
+        note = strformat("%d stale demoted", d.stale_demoted);
+      }
+      table.add_row({std::to_string(q + 1),
+                     spark::to_string(configs[q].app), d.selected(),
+                     strformat("%.2f", d.ranking.front().predicted_duration),
+                     note});
+    }
+    std::printf("%s", table.render(strformat("Queue of %lld decisions",
+                                             queue)).c_str());
+    obs_sink.flush();
+    return 0;
+  }
   const auto decision = scheduler.schedule(job, env.engine().now());
   AsciiTable table({"rank", "node", "predicted duration (s)"});
   for (std::size_t i = 0; i < decision.ranking.size(); ++i) {
