@@ -30,6 +30,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kExporterSilence: return "exporter_silence";
     case FaultKind::kExporterDelay: return "exporter_delay";
     case FaultKind::kRetrainFail: return "retrain_fail";
+    case FaultKind::kNodeLinkDegrade: return "node_link_degrade";
   }
   throw Error("fault: unknown FaultKind");
 }
@@ -42,6 +43,7 @@ FaultKind fault_kind_from_string(const std::string& s) {
   if (s == "exporter_silence") return FaultKind::kExporterSilence;
   if (s == "exporter_delay") return FaultKind::kExporterDelay;
   if (s == "retrain_fail") return FaultKind::kRetrainFail;
+  if (s == "node_link_degrade") return FaultKind::kNodeLinkDegrade;
   throw Error("fault: unknown fault kind: " + s);
 }
 
@@ -127,6 +129,9 @@ void FaultInjector::inject(const FaultSpec& spec) {
     case FaultKind::kRetrainFail:
       fail_retrains();
       break;
+    case FaultKind::kNodeLinkDegrade:
+      degrade_node_link(spec.target, spec.severity);
+      break;
   }
   ++injected_;
 }
@@ -153,6 +158,9 @@ void FaultInjector::recover(const FaultSpec& spec) {
       break;
     case FaultKind::kRetrainFail:
       restore_retrains();
+      break;
+    case FaultKind::kNodeLinkDegrade:
+      restore_node_link(spec.target);
       break;
   }
   ++recovered_;
@@ -199,6 +207,23 @@ void FaultInjector::degrade_wan_link(const std::string& site_a,
   const net::LinkId fwd = wan_forward_link(site_a, site_b);
   cut_link_capacity(fwd, 1.0 - capacity_cut_frac);
   cut_link_capacity(fwd + 1, 1.0 - capacity_cut_frac);
+  cluster_.flows().invalidate_rates();
+}
+
+void FaultInjector::degrade_node_link(const std::string& node,
+                                      double capacity_cut_frac) {
+  LTS_REQUIRE(capacity_cut_frac >= 0.0 && capacity_cut_frac <= 1.0,
+              "fault: capacity cut fraction must be in [0, 1]");
+  const std::size_t idx = cluster_.node_index(node);
+  cut_link_capacity(cluster_.node_uplink(idx), 1.0 - capacity_cut_frac);
+  cut_link_capacity(cluster_.node_downlink(idx), 1.0 - capacity_cut_frac);
+  cluster_.flows().invalidate_rates();
+}
+
+void FaultInjector::restore_node_link(const std::string& node) {
+  const std::size_t idx = cluster_.node_index(node);
+  restore_link(cluster_.node_uplink(idx));
+  restore_link(cluster_.node_downlink(idx));
   cluster_.flows().invalidate_rates();
 }
 

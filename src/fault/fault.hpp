@@ -40,6 +40,7 @@ enum class FaultKind {
   kExporterSilence,  // target = node name; exporter scrapes vanish
   kExporterDelay,    // target = node name; severity = reporting lag seconds
   kRetrainFail,      // target ignored; online refits fail while active
+  kNodeLinkDegrade,  // target = node name; severity = access-capacity cut
 };
 
 const char* to_string(FaultKind kind);
@@ -88,6 +89,12 @@ class FaultInjector {
   void recover_node(const std::string& node);
   void degrade_wan_link(const std::string& site_a, const std::string& site_b,
                         double capacity_cut_frac);
+  /// Cuts a node's access-link capacity (both directions) by the given
+  /// fraction — intra-site congestion/drift on topologies with no WAN
+  /// links to degrade. Unlike crash_node the node stays up: exporters keep
+  /// answering, only its NIC throughput shrinks.
+  void degrade_node_link(const std::string& node, double capacity_cut_frac);
+  void restore_node_link(const std::string& node);
   void spike_wan_rtt(const std::string& site_a, const std::string& site_b,
                      SimTime extra_one_way_delay);
   void restore_wan_link(const std::string& site_a, const std::string& site_b);

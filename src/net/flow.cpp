@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lts::net {
 
@@ -55,7 +56,31 @@ FlowManager::FlowManager(sim::Engine& engine, const Topology& topo,
   rx_count_.assign(vertices, 0);
   host_tx_.assign(vertices, 0.0);
   host_rx_.assign(vertices, 0.0);
+  // Snapshot the site partition: the hierarchical solver needs per-link
+  // ownership on the hot path and the partition is fixed at construction
+  // time (fault injection mutates capacities/delays, never sites).
+  if (options_.solver == SolverMode::kHierarchical) {
+    num_sites_ = topo_.num_sites();
+    link_site_.resize(links);
+    for (std::size_t l = 0; l < links; ++l) {
+      link_site_[l] = topo_.link_site(static_cast<LinkId>(l));
+    }
+    site_scratch_.resize(static_cast<std::size_t>(num_sites_));
+    site_coupled_.assign(static_cast<std::size_t>(num_sites_), 0);
+  }
   last_update_ = engine_.now();
+}
+
+std::int32_t FlowManager::classify_site(VertexId src, VertexId dst,
+                                        const LinkId* path,
+                                        std::uint32_t path_len) const {
+  if (num_sites_ == 0) return -1;
+  const int site = topo_.vertex_site(src);
+  if (site < 0 || topo_.vertex_site(dst) != site) return -1;
+  for (std::uint32_t k = 0; k < path_len; ++k) {
+    if (link_site_[static_cast<std::size_t>(path[k])] != site) return -1;
+  }
+  return site;
 }
 
 std::uint32_t FlowManager::find_slot(FlowId id) const {
@@ -147,6 +172,8 @@ FlowId FlowManager::start(VertexId src, VertexId dst, Bytes size,
   f.path_len = static_cast<std::uint32_t>(route.size());
   path_arena_.insert(path_arena_.end(), route.begin(), route.end());
   live_path_words_ += f.path_len;
+  f.site = classify_site(src, dst, path_arena_.data() + f.path_begin,
+                         f.path_len);
   f.on_complete = std::move(on_complete);
   // Tail insertion: new ids are maximal, so both lists stay in id order.
   const auto srci = static_cast<std::size_t>(src);
@@ -367,124 +394,17 @@ void FlowManager::recompute_rates() {
 }
 
 std::size_t FlowManager::recompute_rates_core() {
-  std::size_t rounds = 0;
   const std::uint64_t fill_epoch = ++epoch_;
   last_fill_epoch_ = fill_epoch;
   completion_heap_.clear();
+  stats_ = SolverStats{by_id_.size(), 0, 0};
   if (by_id_.empty()) return 0;
 
-  unfrozen_.clear();
-  unfrozen_.reserve(by_id_.size());
-  for (const std::uint32_t s : by_id_) {
-    slots_[s].rate = 0.0;
-    unfrozen_.push_back(s);
-  }
-
-  auto freeze = [&](std::uint32_t slot, Rate rate) {
-    Flow& f = slots_[slot];
-    // Floor guards against rounding freezing a flow at exactly zero, which
-    // would make its completion time unschedulable. 1e-3 B/s is far below
-    // any physically meaningful rate in the model. The links are debited by
-    // the rate actually assigned (floor included), so floored flows never
-    // oversubscribe their path.
-    f.rate = std::max(rate, 1e-3);
-    const LinkId* path = path_arena_.data() + f.path_begin;
-    for (std::uint32_t k = 0; k < f.path_len; ++k) {
-      const auto li = static_cast<std::size_t>(path[k]);
-      residual_[li] = std::max(0.0, residual_[li] - f.rate);
-    }
-  };
-
-  // Progressive filling freezes at least one flow per iteration; anything
-  // beyond flows+1 iterations is a logic error, not a slow convergence.
-  std::size_t iteration_guard = by_id_.size() + 2;
-  while (!unfrozen_.empty()) {
-    LTS_ASSERT(iteration_guard-- > 0);
-    ++rounds;
-    // Per-round link state is epoch-stamped: a link's count (and later its
-    // bottleneck mark) is valid only when stamped with this round's epoch,
-    // so resetting costs nothing and per-round work is proportional to the
-    // unfrozen flows' total path length, not to the number of links.
-    const std::uint64_t round_epoch = ++epoch_;
-    touched_links_.clear();
-    for (const std::uint32_t s : unfrozen_) {
-      const Flow& f = slots_[s];
-      const LinkId* path = path_arena_.data() + f.path_begin;
-      for (std::uint32_t k = 0; k < f.path_len; ++k) {
-        const LinkId lid = path[k];
-        const auto li = static_cast<std::size_t>(lid);
-        if (count_epoch_[li] != round_epoch) {
-          count_epoch_[li] = round_epoch;
-          link_count_[li] = 0;
-          touched_links_.push_back(lid);
-          if (residual_epoch_[li] != fill_epoch) {
-            residual_epoch_[li] = fill_epoch;
-            residual_[li] = topo_.link(lid).capacity;
-          }
-        }
-        ++link_count_[li];
-      }
-    }
-    // Fair share currently offered by the tightest link. A min over a set
-    // of doubles is order-independent, so visiting links in touch order
-    // gives the exact value the full index-order scan used to produce.
-    Rate bottleneck_share = std::numeric_limits<Rate>::infinity();
-    for (const LinkId lid : touched_links_) {
-      const auto li = static_cast<std::size_t>(lid);
-      bottleneck_share =
-          std::min(bottleneck_share,
-                   residual_[li] / static_cast<Rate>(link_count_[li]));
-    }
-    LTS_ASSERT(std::isfinite(bottleneck_share));
-
-    // Flows whose TCP cap is below the share freeze at their cap first: they
-    // cannot use their full fair share, which frees capacity for the rest.
-    bool froze_capped = false;
-    for (std::size_t i = 0; i < unfrozen_.size();) {
-      if (slots_[unfrozen_[i]].cap <= bottleneck_share) {
-        freeze(unfrozen_[i], slots_[unfrozen_[i]].cap);
-        unfrozen_[i] = unfrozen_.back();
-        unfrozen_.pop_back();
-        froze_capped = true;
-      } else {
-        ++i;
-      }
-    }
-    if (froze_capped) continue;
-
-    // Otherwise freeze every flow crossing a bottleneck link at the share.
-    // The bottleneck set must come from the state at the start of the round:
-    // freeze() lowers residuals as it goes, and testing links against the
-    // mutated residuals would pull extra links into this round's bottleneck
-    // set, freezing their flows at a share that belongs to a tighter link —
-    // flows with identical paths then end up with different rates, which is
-    // exactly the unfairness max-min forbids.
-    for (const LinkId lid : touched_links_) {
-      const auto li = static_cast<std::size_t>(lid);
-      if (residual_[li] / static_cast<Rate>(link_count_[li]) <=
-          bottleneck_share * (1.0 + 1e-12)) {
-        bottleneck_epoch_[li] = round_epoch;
-      }
-    }
-    for (std::size_t i = 0; i < unfrozen_.size();) {
-      const Flow& f = slots_[unfrozen_[i]];
-      bool on_bottleneck = false;
-      const LinkId* path = path_arena_.data() + f.path_begin;
-      for (std::uint32_t k = 0; k < f.path_len; ++k) {
-        if (bottleneck_epoch_[static_cast<std::size_t>(path[k])] ==
-            round_epoch) {
-          on_bottleneck = true;
-          break;
-        }
-      }
-      if (on_bottleneck) {
-        freeze(unfrozen_[i], bottleneck_share);
-        unfrozen_[i] = unfrozen_.back();
-        unfrozen_.pop_back();
-      } else {
-        ++i;
-      }
-    }
+  std::size_t rounds;
+  if (options_.solver == SolverMode::kHierarchical && num_sites_ > 0) {
+    rounds = hierarchical_fill(fill_epoch);
+  } else {
+    rounds = fill_flows(by_id_, fill_epoch, epoch_, touched_links_, unfrozen_);
   }
 
   // Final accumulation in id order (the order the old full-map walk used,
@@ -508,6 +428,200 @@ std::size_t FlowManager::recompute_rates_core() {
     return a.eta > b.eta;
   };
   std::make_heap(completion_heap_.begin(), completion_heap_.end(), later);
+  return rounds;
+}
+
+std::size_t FlowManager::hierarchical_fill(std::uint64_t fill_epoch) {
+  // Pass 1: a cross-site flow couples every site whose links it crosses —
+  // those sites' local flows share access links with WAN traffic, so their
+  // fair shares are not a site-local question.
+  std::fill(site_coupled_.begin(), site_coupled_.end(), 0);
+  for (const std::uint32_t s : by_id_) {
+    const Flow& f = slots_[s];
+    if (f.site >= 0) continue;
+    const LinkId* path = path_arena_.data() + f.path_begin;
+    for (std::uint32_t k = 0; k < f.path_len; ++k) {
+      const int site = link_site_[static_cast<std::size_t>(path[k])];
+      if (site >= 0) site_coupled_[static_cast<std::size_t>(site)] = 1;
+    }
+  }
+
+  // Pass 2: split, preserving FlowId order within every list (by_id_ is
+  // already sorted, so plain appends keep each sub-list sorted too).
+  coupled_.clear();
+  active_sites_.clear();
+  for (auto& sc : site_scratch_) sc.flows.clear();
+  for (const std::uint32_t s : by_id_) {
+    const std::int32_t site = slots_[s].site;
+    if (site >= 0 && site_coupled_[static_cast<std::size_t>(site)] == 0) {
+      auto& sc = site_scratch_[static_cast<std::size_t>(site)];
+      if (sc.flows.empty()) active_sites_.push_back(site);
+      sc.flows.push_back(s);
+    } else {
+      coupled_.push_back(s);
+    }
+  }
+  stats_ = SolverStats{coupled_.size(), by_id_.size() - coupled_.size(),
+                       active_sites_.size()};
+
+  // The coupled set runs through the exact global fill. When it holds every
+  // flow (spanning traffic on the paper topology), this is bit-for-bit the
+  // flat solver: same list, same epochs, same arithmetic.
+  std::size_t rounds = 0;
+  if (!coupled_.empty()) {
+    rounds += fill_flows(coupled_, fill_epoch, epoch_, touched_links_,
+                         unfrozen_);
+  }
+  if (active_sites_.empty()) return rounds;
+
+  // Independent sites: disjoint flow lists over disjoint site-owned links.
+  // Each worker stamps only its site's entries of the shared per-link
+  // arrays, using a private epoch cursor started from a common base — the
+  // base exceeds every stamp written so far, and equal cursor values across
+  // sites can never meet on the same array element. The outcome is
+  // byte-identical to solving the sites sequentially.
+  const std::uint64_t epoch_base = epoch_;
+  // lts-lint: shared-guarded(site-partitioned: each worker fills one site's flow list over that site's links only — every shared-array write lands on a site-owned element, and epoch cursors are thread-private)
+  ThreadPool::global().parallel_for(active_sites_.size(), [&](std::size_t i) {
+    auto& sc = site_scratch_[static_cast<std::size_t>(active_sites_[i])];
+    std::uint64_t cursor = epoch_base + 1;
+    sc.rounds =
+        fill_flows(sc.flows, epoch_base + 1, cursor, sc.touched, sc.unfrozen);
+    sc.epoch_end = cursor;
+  });
+
+  // Serial merge in site order: deterministic totals, and the shared epoch
+  // jumps past every per-site cursor so no later fill can collide with a
+  // stamp written inside the parallel section.
+  std::uint64_t epoch_end = epoch_base;
+  for (const int site : active_sites_) {
+    const auto& sc = site_scratch_[static_cast<std::size_t>(site)];
+    rounds += sc.rounds;
+    epoch_end = std::max(epoch_end, sc.epoch_end);
+  }
+  epoch_ = epoch_end;
+  return rounds;
+}
+
+std::size_t FlowManager::fill_flows(const std::vector<std::uint32_t>& flows,
+                                    std::uint64_t fill_epoch,
+                                    std::uint64_t& epoch_cursor,
+                                    std::vector<LinkId>& touched,
+                                    std::vector<std::uint32_t>& unfrozen) {
+  std::size_t rounds = 0;
+  unfrozen.clear();
+  unfrozen.reserve(flows.size());
+  for (const std::uint32_t s : flows) {
+    slots_[s].rate = 0.0;
+    unfrozen.push_back(s);
+  }
+
+  auto freeze = [&](std::uint32_t slot, Rate rate) {
+    Flow& f = slots_[slot];
+    // Floor guards against rounding freezing a flow at exactly zero, which
+    // would make its completion time unschedulable. 1e-3 B/s is far below
+    // any physically meaningful rate in the model. The links are debited by
+    // the rate actually assigned (floor included), so floored flows never
+    // oversubscribe their path.
+    f.rate = std::max(rate, 1e-3);
+    const LinkId* path = path_arena_.data() + f.path_begin;
+    for (std::uint32_t k = 0; k < f.path_len; ++k) {
+      const auto li = static_cast<std::size_t>(path[k]);
+      residual_[li] = std::max(0.0, residual_[li] - f.rate);
+    }
+  };
+
+  // Progressive filling freezes at least one flow per iteration; anything
+  // beyond flows+1 iterations is a logic error, not a slow convergence.
+  std::size_t iteration_guard = flows.size() + 2;
+  while (!unfrozen.empty()) {
+    LTS_ASSERT(iteration_guard-- > 0);
+    ++rounds;
+    // Per-round link state is epoch-stamped: a link's count (and later its
+    // bottleneck mark) is valid only when stamped with this round's epoch,
+    // so resetting costs nothing and per-round work is proportional to the
+    // unfrozen flows' total path length, not to the number of links.
+    const std::uint64_t round_epoch = ++epoch_cursor;
+    touched.clear();
+    for (const std::uint32_t s : unfrozen) {
+      const Flow& f = slots_[s];
+      const LinkId* path = path_arena_.data() + f.path_begin;
+      for (std::uint32_t k = 0; k < f.path_len; ++k) {
+        const LinkId lid = path[k];
+        const auto li = static_cast<std::size_t>(lid);
+        if (count_epoch_[li] != round_epoch) {
+          count_epoch_[li] = round_epoch;
+          link_count_[li] = 0;
+          touched.push_back(lid);
+          if (residual_epoch_[li] != fill_epoch) {
+            residual_epoch_[li] = fill_epoch;
+            residual_[li] = topo_.link(lid).capacity;
+          }
+        }
+        ++link_count_[li];
+      }
+    }
+    // Fair share currently offered by the tightest link. A min over a set
+    // of doubles is order-independent, so visiting links in touch order
+    // gives the exact value the full index-order scan used to produce.
+    Rate bottleneck_share = std::numeric_limits<Rate>::infinity();
+    for (const LinkId lid : touched) {
+      const auto li = static_cast<std::size_t>(lid);
+      bottleneck_share =
+          std::min(bottleneck_share,
+                   residual_[li] / static_cast<Rate>(link_count_[li]));
+    }
+    LTS_ASSERT(std::isfinite(bottleneck_share));
+
+    // Flows whose TCP cap is below the share freeze at their cap first: they
+    // cannot use their full fair share, which frees capacity for the rest.
+    bool froze_capped = false;
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      if (slots_[unfrozen[i]].cap <= bottleneck_share) {
+        freeze(unfrozen[i], slots_[unfrozen[i]].cap);
+        unfrozen[i] = unfrozen.back();
+        unfrozen.pop_back();
+        froze_capped = true;
+      } else {
+        ++i;
+      }
+    }
+    if (froze_capped) continue;
+
+    // Otherwise freeze every flow crossing a bottleneck link at the share.
+    // The bottleneck set must come from the state at the start of the round:
+    // freeze() lowers residuals as it goes, and testing links against the
+    // mutated residuals would pull extra links into this round's bottleneck
+    // set, freezing their flows at a share that belongs to a tighter link —
+    // flows with identical paths then end up with different rates, which is
+    // exactly the unfairness max-min forbids.
+    for (const LinkId lid : touched) {
+      const auto li = static_cast<std::size_t>(lid);
+      if (residual_[li] / static_cast<Rate>(link_count_[li]) <=
+          bottleneck_share * (1.0 + 1e-12)) {
+        bottleneck_epoch_[li] = round_epoch;
+      }
+    }
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      const Flow& f = slots_[unfrozen[i]];
+      bool on_bottleneck = false;
+      const LinkId* path = path_arena_.data() + f.path_begin;
+      for (std::uint32_t k = 0; k < f.path_len; ++k) {
+        if (bottleneck_epoch_[static_cast<std::size_t>(path[k])] ==
+            round_epoch) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (on_bottleneck) {
+        freeze(unfrozen[i], bottleneck_share);
+        unfrozen[i] = unfrozen.back();
+        unfrozen.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
   return rounds;
 }
 

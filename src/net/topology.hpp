@@ -82,12 +82,29 @@ class Topology {
 
   std::vector<VertexId> hosts() const;
 
+  /// Optional site partition used by the hierarchical max-min solver: tags
+  /// a vertex with the site it belongs to (>= 0). Vertices never tagged
+  /// (core/backbone routers) belong to no site and report -1. A directed
+  /// link is site-owned iff both endpoints carry the same site tag, so the
+  /// partition of links is derived, never stored separately.
+  void set_vertex_site(VertexId v, int site);
+  int vertex_site(VertexId v) const;
+
+  /// One past the largest site index ever assigned (0 when untagged).
+  int num_sites() const { return num_sites_; }
+
+  /// Site of a link, or -1 when it bridges sites (WAN/core links) or
+  /// touches an untagged vertex.
+  int link_site(LinkId l) const;
+
  private:
   VertexId add_vertex(const std::string& name, bool is_host);
   void compute_routes_from(VertexId src) const;
 
   std::vector<Vertex> vertices_;
   std::vector<Link> links_;
+  std::vector<int> vertex_site_;  // parallel to vertices_; -1 = untagged
+  int num_sites_ = 0;
   // routes_[src][dst] = link ids; lazily filled per source via Dijkstra.
   mutable std::vector<std::vector<std::vector<LinkId>>> routes_;
   mutable std::vector<bool> routes_ready_;

@@ -50,6 +50,7 @@ TEST(FaultSpecJson, RoundTripsEveryKind) {
       {fault::FaultKind::kExporterSilence, "node-1", 90.0, 20.0, 1.0},
       {fault::FaultKind::kExporterDelay, "node-2", 100.0, 25.0, 12.0},
       {fault::FaultKind::kRetrainFail, "", 110.0, 60.0, 1.0},
+      {fault::FaultKind::kNodeLinkDegrade, "node-4", 120.0, 0.0, 0.6},
   };
   const std::string text = fault::faults_to_json(schedule).dump();
   const auto parsed = fault::faults_from_json(Json::parse(text));
@@ -95,6 +96,72 @@ TEST(FaultSchedule, DeterministicAndRateScaled) {
     EXPECT_GE(fault.at, options.start);
     EXPECT_GE(fault.duration, 5.0);
   }
+}
+
+TEST(DriftSchedule, FallsBackToNodeLinkDegradeWithoutWanLinks) {
+  // A single-site shape has no pairwise WAN links; the staircase must
+  // degrade gracefully to intra-site node-access drift instead of failing.
+  const auto spec = exp::scaled_cluster_spec(1, 4);
+  ASSERT_TRUE(spec.wan_links.empty());
+  exp::DriftScheduleOptions options;
+  options.drift_links = 2;
+  const auto schedule = exp::generate_drift_schedule(spec, 7, options);
+  ASSERT_EQ(schedule.size(),
+            static_cast<std::size_t>(options.steps) * 2);
+  double prev_severity = 0.0;
+  for (const auto& f : schedule) {
+    EXPECT_EQ(f.kind, fault::FaultKind::kNodeLinkDegrade);
+    EXPECT_EQ(f.target.rfind("node-", 0), 0u) << f.target;
+    EXPECT_DOUBLE_EQ(f.duration, 0.0);  // drift never heals
+    EXPECT_GE(f.severity, prev_severity);
+    prev_severity = f.severity;
+  }
+  EXPECT_DOUBLE_EQ(schedule.back().severity, options.max_capacity_cut);
+
+  // Deterministic: same (spec, seed, options) -> same schedule.
+  const auto again = exp::generate_drift_schedule(spec, 7, options);
+  ASSERT_EQ(again.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(again[i].target, schedule[i].target);
+    EXPECT_DOUBLE_EQ(again[i].severity, schedule[i].severity);
+  }
+
+  // More drift links than nodes: clamped to the node count, not an error.
+  options.drift_links = 64;
+  const auto clamped = exp::generate_drift_schedule(spec, 7, options);
+  EXPECT_EQ(clamped.size(), static_cast<std::size_t>(options.steps) * 4);
+
+  // Nothing can drift when the only available component is zeroed out.
+  options.max_capacity_cut = 0.0;
+  EXPECT_THROW(exp::generate_drift_schedule(spec, 7, options), Error);
+}
+
+TEST(FaultInjector, NodeLinkDegradeCutsAccessCapacityAndRestores) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::paper_cluster_spec());
+  fault::FaultInjector injector(engine, cluster);
+
+  const std::size_t node = cluster.node_index("node-2");
+  const auto up = cluster.node_uplink(node);
+  const auto down = cluster.node_downlink(node);
+  const Rate up0 = cluster.topology().link(up).capacity;
+  const Rate down0 = cluster.topology().link(down).capacity;
+
+  injector.degrade_node_link("node-2", 0.6);
+  EXPECT_NEAR(cluster.topology().link(up).capacity, up0 * 0.4, 1.0);
+  EXPECT_NEAR(cluster.topology().link(down).capacity, down0 * 0.4, 1.0);
+  // Re-injection at a new severity works off the pristine capacity — the
+  // drift staircase re-injects every step and must not compound.
+  injector.degrade_node_link("node-2", 0.8);
+  EXPECT_NEAR(cluster.topology().link(up).capacity, up0 * 0.2, 1.0);
+
+  injector.restore_node_link("node-2");
+  EXPECT_DOUBLE_EQ(cluster.topology().link(up).capacity, up0);
+  EXPECT_DOUBLE_EQ(cluster.topology().link(down).capacity, down0);
+  injector.restore_node_link("node-2");  // idempotent
+
+  EXPECT_THROW(injector.degrade_node_link("node-2", 1.5), Error);
+  EXPECT_THROW(injector.degrade_node_link("nowhere", 0.5), Error);
 }
 
 TEST(FaultInjector, SitePartitionStallsCrossSiteFlowsAndHeals) {
@@ -249,6 +316,46 @@ TEST(FaultInjector, CrashRecoverResetsNicCountersWithoutNegativeRate) {
     EXPECT_GE(row.rx_rate, 0.0) << row.node;
   }
   EXPECT_GT(resets.value(), resets_before);
+}
+
+TEST(TelemetryEpoch, EveryFaultMutationPathBumpsOrDefersToScrape) {
+  // Cached snapshots key on Tsdb::epoch(). Fault paths that change how
+  // existing telemetry must be interpreted — a node gone or rebooted (its
+  // cumulative counters restarting through reset_host_counters), an
+  // exporter muted, delayed, or restored — must bump the epoch at the
+  // moment they mutate, not a scrape interval later.
+  exp::SimEnv env(33);
+  env.warmup();
+  auto& injector = env.fault_injector();
+  std::uint64_t last = env.tsdb().epoch();
+  const auto expect_bump = [&](const char* what, const auto& mutate) {
+    mutate();
+    EXPECT_GT(env.tsdb().epoch(), last) << what;
+    last = env.tsdb().epoch();
+  };
+  expect_bump("crash_node", [&] { injector.crash_node("node-1"); });
+  expect_bump("recover_node (counters reset via reset_host_counters)",
+              [&] { injector.recover_node("node-1"); });
+  expect_bump("silence_exporter",
+              [&] { injector.silence_exporter("node-2"); });
+  expect_bump("unsilence_exporter",
+              [&] { injector.unsilence_exporter("node-2"); });
+  expect_bump("delay_exporter",
+              [&] { injector.delay_exporter("node-3", 5.0); });
+  expect_bump("undelay_exporter",
+              [&] { injector.undelay_exporter("node-3"); });
+
+  // Pure capacity/delay mutations intentionally do NOT bump: they change
+  // the network, not the meaning of already-ingested samples. Their effect
+  // reaches the TSDB through the next scrape's append, which bumps then.
+  injector.degrade_wan_link("ucsd", "fiu", 0.5);
+  injector.spike_wan_rtt("ucsd", "fiu", 0.010);
+  injector.restore_wan_link("ucsd", "fiu");
+  injector.degrade_node_link("node-4", 0.5);
+  injector.restore_node_link("node-4");
+  injector.partition_site("sri");
+  injector.heal_site("sri");
+  EXPECT_EQ(env.tsdb().epoch(), last);
 }
 
 TEST(Degradation, UndelayingExporterMidStreamDropsLateSamples) {

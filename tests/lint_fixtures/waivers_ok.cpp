@@ -25,6 +25,14 @@ void guarded_fanout(ThreadPool& pool) {
   });
 }
 
+void site_sharded_fanout(ThreadPool& pool) {
+  std::vector<double> per_site(8, 0.0);
+  // lts-lint: shared-guarded(site-partitioned: each worker writes only its own site's slot; no element is shared across workers)
+  pool.parallel_for(8, [&](std::size_t i) {
+    per_site[i] += 1.0;
+  });
+}
+
 void watchdog_thread() {
   std::thread t([] {});  // lts-lint: thread-ok(fixture exercising the waiver path)
   t.join();

@@ -213,6 +213,27 @@ TEST(LintWaivers, MalformedWaiversAreDiagnosedAndDoNotSuppress) {
   EXPECT_EQ(count_rule(diags, "R4"), 1u);
 }
 
+TEST(LintWaivers, SitePartitionedStrategySilencesR4) {
+  // The hierarchical solver's per-site fan-out shares arrays whose elements
+  // are owned by exactly one site; `site-partitioned` is the recognized
+  // strategy for that discipline.
+  const std::string good =
+      "void f(ThreadPool& pool) {\n"
+      "  // lts-lint: shared-guarded(site-partitioned: each worker writes only its site's slots)\n"
+      "  pool.parallel_for(4, [&](std::size_t i) { (void)i; });\n"
+      "}\n";
+  EXPECT_TRUE(lint_text("src/net/fixture.cpp", good).empty());
+  // A near-miss strategy name is rejected and does not suppress the R4.
+  const std::string bad =
+      "void f(ThreadPool& pool) {\n"
+      "  // lts-lint: shared-guarded(sharded: sounds similar but is not a strategy)\n"
+      "  pool.parallel_for(4, [&](std::size_t i) { (void)i; });\n"
+      "}\n";
+  const auto diags = lint_text("src/net/fixture.cpp", bad);
+  EXPECT_EQ(count_rule(diags, "waiver-syntax"), 1u);
+  EXPECT_EQ(count_rule(diags, "R4"), 1u);
+}
+
 TEST(LintWaivers, StaleWaiversAreFlagged) {
   const std::string text = read_fixture("waiver_unused.cpp");
   const auto diags = lint_text("src/simcore/fixture.cpp", text);

@@ -993,6 +993,99 @@ TEST(Refit, GbtContinuesBoostingThenResetsWhenOversized) {
   EXPECT_LE(model.num_trees(), static_cast<std::size_t>(3 * params.n_rounds));
 }
 
+// Complete binary tree with `depth` levels of internal nodes in heap
+// layout: 2^(depth+1)-1 nodes total. Thresholds and leaf values vary
+// deterministically so different inputs reach different leaves.
+std::vector<TreeNode> complete_tree(int depth, int num_features) {
+  const std::size_t n = (std::size_t{2} << depth) - 1;
+  const std::size_t first_leaf = (std::size_t{1} << depth) - 1;
+  std::vector<TreeNode> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& node = nodes[i];
+    node.n_samples = 1;
+    if (i < first_leaf) {
+      node.feature = static_cast<int>(i % num_features);
+      node.threshold = static_cast<double>((i * 37) % 101) / 50.5 - 1.0;
+      node.left = static_cast<int>(2 * i + 1);
+      node.right = static_cast<int>(2 * i + 2);
+    } else {
+      node.value = static_cast<double>(i) * 1e-3;
+    }
+  }
+  return nodes;
+}
+
+Json tree_to_json(const std::vector<TreeNode>& nodes, int num_features) {
+  Json j = Json::object();
+  j["params"] = TreeParams{}.to_json();
+  j["num_features"] = num_features;
+  JsonArray arr;
+  arr.reserve(nodes.size());
+  for (const auto& node : nodes) {
+    JsonArray fields;
+    fields.emplace_back(node.feature);
+    fields.emplace_back(node.threshold);
+    fields.emplace_back(node.left);
+    fields.emplace_back(node.right);
+    fields.emplace_back(node.value);
+    fields.emplace_back(node.n_samples);
+    arr.emplace_back(std::move(fields));
+  }
+  j["nodes"] = Json(std::move(arr));
+  j["importance"] =
+      Json::from_doubles(std::vector<double>(num_features, 0.0));
+  return j;
+}
+
+TEST(FlatEnsembleLimits, OversizedTreeIsRejectedAtTheCap) {
+  // kMaxTreeNodes is the largest tree whose local child indices fit the
+  // packed 16-bit fields. Exactly at the cap (a complete depth-14 tree,
+  // 2^15-1 = 32767 nodes) flattening succeeds; one level deeper it must
+  // refuse rather than truncate.
+  FlatEnsemble flat;
+  const auto at_cap = complete_tree(14, 4);
+  ASSERT_EQ(at_cap.size(), FlatEnsemble::kMaxTreeNodes);
+  EXPECT_TRUE(flat.try_add_tree(std::span<const TreeNode>(at_cap)));
+
+  FlatEnsemble refused;
+  const auto oversized = complete_tree(15, 4);
+  ASSERT_GT(oversized.size(), FlatEnsemble::kMaxTreeNodes);
+  EXPECT_FALSE(refused.try_add_tree(std::span<const TreeNode>(oversized)));
+  EXPECT_TRUE(refused.empty());
+}
+
+TEST(FlatEnsembleLimits, OversizedTreeScalarFallbackMatchesBitForBit) {
+  // A deserialized tree too large to flatten must still serve batched
+  // predictions — through the scalar walk — and produce the exact doubles
+  // predict_row does. 65535 nodes exceeds kMaxTreeNodes so rebuild_flat
+  // bails out and predict_batch takes the fallback path.
+  DecisionTreeRegressor tree;
+  tree.from_json(tree_to_json(complete_tree(15, 4), 4));
+  EXPECT_EQ(tree.depth(), 15);
+  EXPECT_EQ(tree.num_leaves(), std::size_t{1} << 15);
+
+  const std::size_t rows = 64, cols = 4;
+  Rng rng(0xF1A7);
+  std::vector<double> x(rows * cols);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> batched(rows);
+  tree.predict_batch(x, rows, cols, batched);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> row(x.data() + r * cols, cols);
+    EXPECT_EQ(batched[r], tree.predict_row(row)) << "row " << r;
+  }
+
+  // Same walk under the flat engine: a tree exactly at the cap must agree
+  // with its own scalar path too (both engines, one contract).
+  DecisionTreeRegressor small;
+  small.from_json(tree_to_json(complete_tree(14, 4), 4));
+  small.predict_batch(x, rows, cols, batched);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> row(x.data() + r * cols, cols);
+    EXPECT_EQ(batched[r], small.predict_row(row)) << "row " << r;
+  }
+}
+
 TEST(TreeSplit, AdjacentDoubleThresholdStillPartitions) {
   // Regression test: the midpoint of two adjacent doubles can round up
   // onto the right value; the `<=` partition would then send every row

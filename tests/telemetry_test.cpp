@@ -78,6 +78,32 @@ TEST(Tsdb, LatestAndMissing) {
   EXPECT_FALSE(tsdb.latest("cpu", Labels{{"node", "n2"}}).has_value());
 }
 
+TEST(Tsdb, EpochAdvancesOnEveryMutationPath) {
+  // Snapshot caches key on epoch(): an unchanged value promises that every
+  // query would return exactly what it returned last fetch. Each mutation
+  // path must therefore advance it — accepted appends, DROPPED appends
+  // (out-of-order samples still change num_samples_dropped, which callers
+  // may read), and the explicit out-of-band bump.
+  Tsdb tsdb;
+  const Labels labels{{"node", "n1"}};
+  std::uint64_t last = tsdb.epoch();
+  const auto expect_bump = [&](const char* what) {
+    EXPECT_GT(tsdb.epoch(), last) << what;
+    last = tsdb.epoch();
+  };
+  tsdb.append("cpu", labels, 1.0, 0.5);
+  expect_bump("accepted append");
+  tsdb.append("cpu", labels, 0.5, 0.4);  // out of order: dropped
+  EXPECT_EQ(tsdb.num_samples_dropped(), 1u);
+  expect_bump("dropped append");
+  tsdb.bump_epoch();
+  expect_bump("explicit bump");
+  // Queries are reads: no bump.
+  (void)tsdb.latest("cpu", labels);
+  (void)tsdb.rate("cpu", labels, 1.0, 1.0);
+  EXPECT_EQ(tsdb.epoch(), last);
+}
+
 TEST(Tsdb, CounterRate) {
   Tsdb tsdb;
   const Labels labels{{"node", "n1"}};

@@ -169,13 +169,16 @@ std::vector<Waiver> collect_waivers(const std::vector<SourceLine>& lines,
       continue;
     }
     if (w.token == "shared-guarded") {
+      // site-partitioned is listed before partitioned so the alternation
+      // matches the longer, more specific strategy name; the \b after the
+      // group keeps e.g. "partitioned-ish" from sneaking through.
       static const std::regex kStrategy(
-          R"(^\s*(mutex|atomic|partitioned)\b)");
+          R"(^\s*(mutex|atomic|site-partitioned|partitioned)\b)");
       if (!std::regex_search(w.justification, kStrategy)) {
         diags.push_back(
             {path, w.line, "waiver-syntax",
-             "shared-guarded strategy must be mutex, atomic, or partitioned "
-             "(got '" +
+             "shared-guarded strategy must be mutex, atomic, partitioned, "
+             "or site-partitioned (got '" +
                  w.justification + "')"});
         continue;
       }
@@ -557,7 +560,7 @@ void check_r4(Context& ctx) {
       ctx.report(i + 1, "R4",
                  "parallel_for lambda captures by reference: declare the "
                  "sharing discipline with // lts-lint: "
-                 "shared-guarded(mutex|atomic|partitioned)");
+                 "shared-guarded(mutex|atomic|partitioned|site-partitioned)");
     }
   }
 }
