@@ -266,25 +266,25 @@ void FaultInjector::heal_site(const std::string& site) {
   cluster_.flows().invalidate_rates();
 }
 
+// The exporter setters bump the TSDB epoch themselves (lts_lint R6: the
+// mutation and its cache invalidation live in one place), so the injector
+// only routes the calls.
+
 void FaultInjector::silence_exporter(const std::string& node) {
   exporter_for(node).set_silenced(true);
-  bump_telemetry_epoch();
 }
 
 void FaultInjector::unsilence_exporter(const std::string& node) {
   exporter_for(node).set_silenced(false);
-  bump_telemetry_epoch();
 }
 
 void FaultInjector::delay_exporter(const std::string& node,
                                    SimTime report_delay) {
   exporter_for(node).set_report_delay(report_delay);
-  bump_telemetry_epoch();
 }
 
 void FaultInjector::undelay_exporter(const std::string& node) {
   exporter_for(node).set_report_delay(0.0);
-  bump_telemetry_epoch();
 }
 
 void FaultInjector::fail_retrains() { retrain_fail_active_ = true; }

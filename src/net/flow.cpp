@@ -455,9 +455,12 @@ std::size_t FlowManager::hierarchical_fill(std::uint64_t fill_epoch) {
     const std::int32_t site = slots_[s].site;
     if (site >= 0 && site_coupled_[static_cast<std::size_t>(site)] == 0) {
       auto& sc = site_scratch_[static_cast<std::size_t>(site)];
+      // lts-lint: alloc-ok(persistent scratch: cleared per solve with capacity retained, bounded by site count)
       if (sc.flows.empty()) active_sites_.push_back(site);
+      // lts-lint: alloc-ok(persistent per-site scratch: cleared per solve with capacity retained, bounded by active flows)
       sc.flows.push_back(s);
     } else {
+      // lts-lint: alloc-ok(persistent scratch: cleared per solve with capacity retained, bounded by active flows)
       coupled_.push_back(s);
     }
   }
@@ -552,6 +555,7 @@ std::size_t FlowManager::fill_flows(const std::vector<std::uint32_t>& flows,
         if (count_epoch_[li] != round_epoch) {
           count_epoch_[li] = round_epoch;
           link_count_[li] = 0;
+          // lts-lint: alloc-ok(caller-owned scratch: cleared per round with capacity retained, bounded by touched links)
           touched.push_back(lid);
           if (residual_epoch_[li] != fill_epoch) {
             residual_epoch_[li] = fill_epoch;

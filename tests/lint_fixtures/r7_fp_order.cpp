@@ -1,0 +1,57 @@
+// R7 fixture: floating-point reduction-order hazards. Linted under a
+// virtual determinism-critical path (src/net/, src/ml/, ...). Never built.
+#include <numeric>
+#include <unordered_map>
+
+namespace lts::fixture {
+
+std::unordered_map<int, double> weights_;
+
+// Fires: unspecified reduction order.
+double reduce_all(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());
+}
+
+// Fires: transform_reduce is the same hazard with a projection.
+double reduce_projected(const std::vector<double>& xs) {
+  return std::transform_reduce(xs.begin(), xs.end(), 0.0, std::plus<>{},
+                               [](double x) { return x * x; });
+}
+
+// Fires: hash order decides the FP summation order.
+double sum_weights() {
+  return std::accumulate(weights_.begin(), weights_.end(), 0.0,
+                         [](double acc, const auto& kv) { return acc + kv.second; });
+}
+
+// Clean: accumulate over an ordered vector is a fixed left fold.
+double sum_ordered(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+// Fires: `total` lives outside the parallel_for extent, so the summation
+// order follows thread interleaving. The malformed waiver (empty
+// justification) must not suppress it.
+double parallel_total(ThreadPool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  // lts-lint: shared-guarded(atomic: fixture pretends total is a relaxed atomic)
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    // lts-lint: fp-order-ok()
+    total += xs[i];
+  });
+  return total;
+}
+
+// Clean: per-item local accumulation, combined outside the lambda by the
+// caller in a fixed order.
+void parallel_local(ThreadPool& pool, const std::vector<double>& xs,
+                    std::vector<double>& out) {
+  // lts-lint: shared-guarded(partitioned: each item writes only out[i])
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    double acc = 0.0;
+    acc += xs[i] * 2.0;
+    out[i] = acc;
+  });
+}
+
+}  // namespace lts::fixture

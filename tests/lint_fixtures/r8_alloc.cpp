@@ -1,0 +1,52 @@
+// R8 fixture: allocations inside declared hot-path functions. Linted under
+// any virtual path (the rule keys on function names, not directories).
+// Never built.
+#include <memory>
+#include <vector>
+
+namespace lts::fixture {
+
+// Fires four ways: new, make_unique, std::function, un-reserved push_back
+// in a loop.
+void recompute_rates(std::vector<double>& out, std::size_t n) {
+  double* scratch = new double[n];
+  auto owned = std::make_unique<double[]>(n);
+  std::function<double(double)> f = [](double x) { return x; };
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(f(scratch[i]));
+  }
+  delete[] scratch;
+}
+
+// Clean: the loop's container was reserved in this body first.
+void predict_batch(std::vector<double>& out, std::size_t n) {
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(i));
+  }
+}
+
+// Fires through the malformed waiver (unknown token), which must not
+// suppress; the braceless loop form must also be caught.
+void schedule_many(std::vector<int>& acc, int n) {
+  // lts-lint: allocation-ok(wrong token name)
+  for (int i = 0; i < n; ++i) acc.push_back(i);
+}
+
+// Clean: identical body, but the name is not on the hot-path list.
+void build_report(std::vector<double>& out, std::size_t n) {
+  double* scratch = new double[n];
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(scratch[i]);
+  }
+  delete[] scratch;
+}
+
+// Fires: engine dispatch is hot by (class, name), not name alone.
+void Engine::step(std::vector<int>& pending) {
+  auto task = std::make_shared<int>(0);
+  pending.push_back(*task);
+}
+
+}  // namespace lts::fixture

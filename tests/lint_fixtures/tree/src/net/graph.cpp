@@ -1,0 +1,16 @@
+// Fixture tree: iterates the companion header's unordered member — R2's
+// cross-file half must flag both iteration forms.
+#include "net/graph.hpp"
+
+namespace fixture {
+
+double Graph::total_weight() const {
+  double total = 0.0;
+  for (const auto& kv : edges_) {
+    total += kv.second;
+  }
+  (void)edges_.begin();
+  return total;
+}
+
+}  // namespace fixture

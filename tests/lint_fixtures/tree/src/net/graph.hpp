@@ -1,0 +1,19 @@
+// Fixture tree: the unordered member declared here is iterated by
+// graph.cpp — the R2 cross-file check must see this declaration through
+// the companion lookup in the shared project model.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+
+class Graph {
+ public:
+  double total_weight() const;
+
+ private:
+  // lts-lint: ordered-ok(fixture: keyed lookups only in this header; the .cpp's iteration is the seeded violation)
+  std::unordered_map<int, double> edges_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture tree: R6 must fire on the public mutator and stay silent on the
+// private helper — both facts (membership and access) come from the
+// companion header resolved through the include graph.
+#include "telemetry/store.hpp"
+
+namespace fixture {
+
+void Tsdb::evict(int id) {
+  series_.erase(series_.begin() + id);
+}
+
+void Tsdb::compact(int id) {
+  series_.push_back(id);
+}
+
+}  // namespace fixture

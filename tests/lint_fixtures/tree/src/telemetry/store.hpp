@@ -1,0 +1,19 @@
+// Fixture tree: a Tsdb-protocol class whose header carries the member and
+// access declarations the cross-file index must resolve for store.cpp.
+#pragma once
+
+namespace fixture {
+
+class Tsdb {
+ public:
+  void evict(int id);
+  void bump_epoch() { ++epoch_; }
+
+ private:
+  void compact(int id);
+
+  std::vector<int> series_;
+  unsigned long long epoch_ = 0;
+};
+
+}  // namespace fixture

@@ -38,4 +38,31 @@ void watchdog_thread() {
   t.join();
 }
 
+// R6: a Tsdb mutator that skips the epoch bump, justified (the fixture's
+// pretend mutation is invisible to snapshots).
+void Tsdb::touch_metadata(int series) {
+  // lts-lint: epoch-ok(metadata-only rewrite: no sample or series-set change is observable through snapshot_features)
+  series_[series] = series;
+}
+
+// R7: a thread-order-dependent sum accepted because the result feeds a
+// tolerance-banded report, not replayed state.
+double lossy_parallel_sum(ThreadPool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  // lts-lint: shared-guarded(atomic: fixture pretends total is a relaxed atomic accumulated for diagnostics)
+  // lts-lint: fp-order-ok(diagnostic-only total rendered at 1e-6 precision; never fed back into sim or label state)
+  pool.parallel_for(xs.size(), [&](std::size_t i) { total += xs[i]; });
+  return total;
+}
+
+// R8: a hot-path push_back loop whose growth is justified as one-time
+// warm-up into a persistent buffer.
+void predict_batch(const std::vector<double>& rows, std::vector<double>& out) {
+  out.clear();
+  for (const double r : rows) {
+    // lts-lint: alloc-ok(persistent output buffer: cleared per batch with capacity retained from the first call)
+    out.push_back(r);
+  }
+}
+
 }  // namespace lts::fixture

@@ -1,636 +1,48 @@
+// Back-compatible driver entry points over the v2 engine: lint_text builds
+// a two-file project model (file + synthesized companion), lint_tree builds
+// the repo-wide model once and fans per-file rule passes out over the
+// ThreadPool with a deterministic merge.
 #include "lts_lint/linter.hpp"
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <regex>
-#include <set>
 #include <sstream>
+
+#include "lts_lint/rules.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lts::lint {
 namespace {
 
-// ------------------------------------------------------------------ text ----
-
-/// One physical line split into executable text and comment text. String and
-/// character literals are blanked from `code` so patterns inside them (e.g.
-/// this linter's own rule regexes) never fire; comment text is kept separately
-/// because waivers live there.
-struct SourceLine {
-  std::string code;
-  std::string comment;
-};
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(std::move(current));
-      current.clear();
-    } else if (c != '\r') {
-      current.push_back(c);
-    }
-  }
-  lines.push_back(std::move(current));
-  return lines;
-}
-
-/// Strips comments and literals line by line, tracking block-comment state
-/// across lines. Escaped quotes inside literals are honored; raw strings are
-/// not (the codebase does not use them in linted directories).
-std::vector<SourceLine> preprocess(const std::string& text) {
-  std::vector<SourceLine> out;
-  bool in_block_comment = false;
-  for (const std::string& raw : split_lines(text)) {
-    SourceLine line;
-    std::size_t i = 0;
-    while (i < raw.size()) {
-      if (in_block_comment) {
-        const std::size_t end = raw.find("*/", i);
-        if (end == std::string::npos) {
-          line.comment.append(raw, i, raw.size() - i);
-          i = raw.size();
-        } else {
-          line.comment.append(raw, i, end - i);
-          i = end + 2;
-          in_block_comment = false;
-        }
-        continue;
-      }
-      const char c = raw[i];
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
-        line.comment.append(raw, i + 2, raw.size() - i - 2);
-        break;
-      }
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        line.code.push_back(quote);
-        ++i;
-        while (i < raw.size()) {
-          if (raw[i] == '\\' && i + 1 < raw.size()) {
-            i += 2;
-            continue;
-          }
-          if (raw[i] == quote) {
-            line.code.push_back(quote);
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      line.code.push_back(c);
-      ++i;
-    }
-    out.push_back(std::move(line));
-  }
-  return out;
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool is_header_path(const std::string& path) {
-  return ends_with(path, ".hpp") || ends_with(path, ".h");
-}
-
-bool is_blank(const std::string& s) {
-  return s.find_first_not_of(" \t") == std::string::npos;
-}
-
-// --------------------------------------------------------------- waivers ----
-
-struct Waiver {
-  std::size_t line = 0;    // 1-based line the waiver comment sits on
-  std::size_t target = 0;  // 1-based line it applies to
-  std::string token;
-  std::string justification;
-  std::string rule;  // rule id the token waives; empty if malformed
-  bool used = false;
-};
-
-const std::map<std::string, std::string>& waiver_tokens() {
-  static const std::map<std::string, std::string> tokens = {
-      {"nondeterminism-ok", "R1"}, {"ordered-ok", "R2"},
-      {"obs-gated", "R3"},         {"thread-ok", "R4"},
-      {"shared-guarded", "R4"},
-  };
-  return tokens;
-}
-
-/// Finds waivers in comment text and resolves each to its target line: the
-/// same line when it trails code, otherwise the next line that carries code
-/// (within a 3-line window, so a standalone comment block can precede its
-/// target).
-std::vector<Waiver> collect_waivers(const std::vector<SourceLine>& lines,
-                                    std::vector<Diagnostic>& diags,
-                                    const std::string& path) {
-  static const std::regex kWaiverRe(
-      R"(lts-lint:\s*([A-Za-z][A-Za-z-]*)\s*(\(([^)]*)\))?)");
-  std::vector<Waiver> waivers;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& comment = lines[i].comment;
-    if (comment.find("lts-lint:") == std::string::npos) continue;
-    std::smatch m;
-    if (!std::regex_search(comment, m, kWaiverRe)) {
-      diags.push_back({path, i + 1, "waiver-syntax",
-                       "unparseable lts-lint annotation"});
-      continue;
-    }
-    Waiver w;
-    w.line = i + 1;
-    w.token = m[1].str();
-    w.justification = m[3].matched ? m[3].str() : "";
-    const auto it = waiver_tokens().find(w.token);
-    if (it == waiver_tokens().end()) {
-      diags.push_back({path, w.line, "waiver-syntax",
-                       "unknown waiver token '" + w.token + "'"});
-      continue;
-    }
-    if (!m[2].matched || is_blank(w.justification)) {
-      diags.push_back({path, w.line, "waiver-syntax",
-                       "waiver '" + w.token +
-                           "' requires a justification: // lts-lint: " +
-                           w.token + "(<why>)"});
-      continue;
-    }
-    if (w.token == "shared-guarded") {
-      // site-partitioned is listed before partitioned so the alternation
-      // matches the longer, more specific strategy name; the \b after the
-      // group keeps e.g. "partitioned-ish" from sneaking through.
-      static const std::regex kStrategy(
-          R"(^\s*(mutex|atomic|site-partitioned|partitioned)\b)");
-      if (!std::regex_search(w.justification, kStrategy)) {
-        diags.push_back(
-            {path, w.line, "waiver-syntax",
-             "shared-guarded strategy must be mutex, atomic, partitioned, "
-             "or site-partitioned (got '" +
-                 w.justification + "')"});
-        continue;
-      }
-    }
-    w.rule = it->second;
-    w.target = w.line;
-    if (is_blank(lines[i].code)) {
-      for (std::size_t j = i + 1; j < lines.size() && j <= i + 3; ++j) {
-        if (!is_blank(lines[j].code)) {
-          w.target = j + 1;
-          break;
-        }
-      }
-    }
-    waivers.push_back(std::move(w));
-  }
-  return waivers;
-}
-
-// -------------------------------------------------------------- scoping ----
-
-bool under_any(const std::string& path, std::initializer_list<const char*> dirs) {
-  for (const char* d : dirs) {
-    if (starts_with(path, d)) return true;
-  }
-  return false;
-}
-
-bool r1_scope(const std::string& p) {
-  // Wall-clock timing is the obs layer's business (span durations); the CLI
-  // layer may read the environment. Everything else under src/ must be a
-  // pure function of its inputs.
-  return starts_with(p, "src/") && !starts_with(p, "src/obs/");
-}
-
-bool r2_scope(const std::string& p) {
-  return under_any(p, {"src/simcore/", "src/net/", "src/core/",
-                       "src/cluster/", "src/spark/"});
-}
-
-bool r3_scope(const std::string& p) {
-  return under_any(p, {"src/simcore/", "src/net/"});
-}
-
-bool thread_pool_path(const std::string& p) {
-  return starts_with(p, "src/util/thread_pool.");
-}
-
-// ------------------------------------------------------------ rule state ----
-
-struct Context {
-  std::string path;
-  std::vector<SourceLine> lines;
-  std::vector<Waiver> waivers;
-  std::vector<Diagnostic> diags;
-
-  /// Reports a violation of `rule` at 1-based `line` unless a matching
-  /// waiver targets that line (waivers on the preceding standalone comment
-  /// line resolve their target during collection).
-  void report(std::size_t line, const std::string& rule,
-              const std::string& message) {
-    for (Waiver& w : waivers) {
-      if (w.rule == rule && w.target == line) {
-        w.used = true;
-        return;
-      }
-    }
-    diags.push_back({path, line, rule, message});
-  }
-
-  /// True if a shared-guarded annotation targets `line` (and marks it used).
-  bool consume_shared_guarded(std::size_t line) {
-    for (Waiver& w : waivers) {
-      if (w.token == "shared-guarded" && w.target == line) {
-        w.used = true;
-        return true;
-      }
-    }
-    return false;
-  }
-};
-
-// ------------------------------------------------------------------- R1 ----
-
-void check_r1(Context& ctx) {
-  if (!r1_scope(ctx.path)) return;
-  struct Pattern {
-    std::regex re;
-    const char* what;
-  };
-  static const std::vector<Pattern> kPatterns = [] {
-    std::vector<Pattern> p;
-    p.push_back({std::regex(R"(std::random_device)"),
-                 "std::random_device (seed via lts::Rng instead)"});
-    p.push_back({std::regex(R"(\bs?rand\s*\()"),
-                 "rand()/srand() (use the seeded lts::Rng streams)"});
-    p.push_back({std::regex(
-                     R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
-                 "wall-clock time (simulation time comes from sim::Engine)"});
-    return p;
-  }();
-  static const std::regex kGetenv(R"(\bgetenv\s*\()");
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    const std::string& code = ctx.lines[i].code;
-    if (code.empty()) continue;
-    for (const Pattern& p : kPatterns) {
-      if (std::regex_search(code, p.re)) {
-        ctx.report(i + 1, "R1",
-                   std::string("nondeterminism source in sim/decision code: ") +
-                       p.what);
-      }
-    }
-    if (std::regex_search(code, kGetenv)) {
-      ctx.report(i + 1, "R1",
-                 "getenv outside the CLI layer: configuration must flow "
-                 "through explicit options");
-    }
-  }
-}
-
-// ------------------------------------------------------------------- R2 ----
-
-/// Unordered-container member/variable names declared in `lines`, for the
-/// cross-file iteration check (a header declares, the .cpp iterates).
-std::set<std::string> unordered_names(const std::vector<SourceLine>& lines) {
-  static const std::regex kDecl(
-      R"(unordered_(?:map|set)\s*<[^;{]*>\s*&?\s*(\w+)\s*[;={])");
-  std::set<std::string> names;
-  for (const SourceLine& l : lines) {
-    std::smatch m;
-    std::string rest = l.code;
-    while (std::regex_search(rest, m, kDecl)) {
-      names.insert(m[1].str());
-      rest = m.suffix();
-    }
-  }
-  return names;
-}
-
-void check_r2(Context& ctx, const std::vector<SourceLine>& companion) {
-  if (!r2_scope(ctx.path)) return;
-  static const std::regex kUnordered(R"(\bunordered_(map|set)\b)");
-  static const std::regex kPreprocessor(R"(^\s*#)");
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    // #include lines are exempt: the rule targets declarations and
-    // iteration, and an include with no use is dead code, not a hazard.
-    if (std::regex_search(ctx.lines[i].code, kPreprocessor)) continue;
-    if (std::regex_search(ctx.lines[i].code, kUnordered)) {
-      ctx.report(i + 1, "R2",
-                 "unordered container in determinism-critical code: "
-                 "hash-iteration order is implementation-defined; use "
-                 "std::map/std::set or sorted iteration");
-    }
-  }
-  // Iteration in this file over a container the companion header declared.
-  std::set<std::string> names = unordered_names(companion);
-  if (names.empty()) return;
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    const std::string& code = ctx.lines[i].code;
-    for (const std::string& name : names) {
-      const bool range_for =
-          std::regex_search(code, std::regex(R"(for\s*\([^;)]*:\s*)" + name +
-                                             R"(\b)"));
-      const bool begin_call =
-          code.find(name + ".begin(") != std::string::npos ||
-          code.find(name + ".cbegin(") != std::string::npos;
-      if (range_for || begin_call) {
-        ctx.report(i + 1, "R2",
-                   "iteration over unordered container '" + name +
-                       "' declared in the companion header: order is "
-                       "implementation-defined");
-      }
-    }
-  }
-}
-
-// ------------------------------------------------------------------- R3 ----
-
-/// Region kinds tracked while scanning a hot-path file. The PR-2 pattern
-/// keeps hot loops clean: instruments are registered once inside a static
-/// *Metrics struct, mutated only inside an outlined record_* function, and
-/// the call into record_* is gated on a cached enabled flag.
-enum class Region { kMetricsStruct, kRecordFn };
-
-void check_r3(Context& ctx, const std::vector<SourceLine>& companion) {
-  if (!r3_scope(ctx.path)) return;
-
-  static const std::regex kMetricsStructRe(R"(\bstruct\s+\w*Metrics\b)");
-  static const std::regex kRecordDefRe(R"(\brecord_\w+\s*\()");
-  static const std::regex kRegisterRe(R"(\bobs::(counter|gauge|histogram)\s*\()");
-  static const std::regex kInstrumentDeclRe(
-      R"(obs::(?:Counter|Gauge|Histogram)&\s*(\w+))");
-  static const std::regex kGuardRe(
-      R"(obs_enabled_\s*->\s*load\s*\(\s*std::memory_order_relaxed\s*\))");
-
-  // Instrument member names (from this file and the companion header) whose
-  // .set()/.add() calls count as obs mutations; .inc()/.observe() are
-  // obs-specific enough to match unconditionally.
-  std::set<std::string> instruments;
-  for (const std::vector<SourceLine>* lines :
-       {static_cast<const std::vector<SourceLine>*>(&ctx.lines), &companion}) {
-    for (const SourceLine& l : *lines) {
-      std::smatch m;
-      std::string rest = l.code;
-      while (std::regex_search(rest, m, kInstrumentDeclRe)) {
-        instruments.insert(m[1].str());
-        rest = m.suffix();
-      }
-    }
-  }
-
-  bool has_guard = false;
-  for (const SourceLine& l : ctx.lines) {
-    if (std::regex_search(l.code, kGuardRe)) {
-      has_guard = true;
-      break;
-    }
-  }
-
-  // Forward scan with a region stack keyed on brace depth.
-  struct Open {
-    Region region;
-    int close_depth;  // depth to return to for the region to end
-  };
-  std::vector<Open> stack;
-  int depth = 0;
-  bool saw_record_fn = false;
-  std::size_t first_record_line = 0;
-
-  // Pending region whose opening brace has not appeared yet.
-  bool pending = false;
-  Region pending_region = Region::kMetricsStruct;
-
-  auto in_region = [&](Region r) {
-    return std::any_of(stack.begin(), stack.end(),
-                       [&](const Open& o) { return o.region == r; });
-  };
-
-  /// True if the statement containing line i (joined with up to 4 previous
-  /// lines, back to the prior ';', '{' or '}') contains `static` — the
-  /// function-local `static obs::Counter& c = obs::counter(...)` idiom.
-  auto statement_is_static = [&](std::size_t i) {
-    std::string stmt;
-    for (std::size_t back = 0; back <= 4 && back <= i; ++back) {
-      const std::string& code = ctx.lines[i - back].code;
-      if (back > 0) {
-        const std::size_t boundary = code.find_last_of(";{}");
-        if (boundary != std::string::npos) {
-          stmt.insert(0, code.substr(boundary + 1) + " ");
-          break;
-        }
-      }
-      stmt.insert(0, code + " ");
-    }
-    return std::regex_search(stmt, std::regex(R"(\bstatic\b)"));
-  };
-
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    const std::string& code = ctx.lines[i].code;
-
-    // Region openers are recognized before brace counting so a same-line
-    // '{' attaches to the region.
-    if (!pending && std::regex_search(code, kMetricsStructRe)) {
-      pending = true;
-      pending_region = Region::kMetricsStruct;
-    } else if (!pending && std::regex_search(code, kRecordDefRe)) {
-      // A definition's '{' appears (possibly lines later) before any ';';
-      // declarations end with ';' first and open no region.
-      for (std::size_t j = i; j < ctx.lines.size() && j <= i + 6; ++j) {
-        const std::string& look = ctx.lines[j].code;
-        const std::size_t brace = look.find('{');
-        const std::size_t semi = look.find(';');
-        if (brace != std::string::npos &&
-            (semi == std::string::npos || brace < semi)) {
-          pending = true;
-          pending_region = Region::kRecordFn;
-          saw_record_fn = true;
-          if (first_record_line == 0) first_record_line = i + 1;
-          break;
-        }
-        if (semi != std::string::npos) break;
-      }
-    }
-
-    // Registrations: allowed inside a *Metrics struct or a static statement.
-    if (std::regex_search(code, kRegisterRe)) {
-      const bool allowed = in_region(Region::kMetricsStruct) ||
-                           (pending && pending_region == Region::kMetricsStruct) ||
-                           statement_is_static(i);
-      if (!allowed) {
-        ctx.report(i + 1, "R3",
-                   "obs instrument registration in a hot path: hoist into a "
-                   "static *Metrics struct so lookups never run per event");
-      }
-    }
-
-    // Mutations: allowed only inside record_* functions.
-    bool mutation = std::regex_search(
-        code, std::regex(R"(\.\s*(inc|observe)\s*\()"));
-    if (!mutation) {
-      for (const std::string& name : instruments) {
-        if (std::regex_search(
-                code, std::regex(R"(\b)" + name + R"(\s*\.\s*(set|add)\s*\()"))) {
-          mutation = true;
-          break;
-        }
-      }
-    }
-    // A pending region counts as entered: a one-line definition's mutation
-    // shares the line with the '{' that brace-tracking sees only afterward.
-    if (mutation && !in_region(Region::kRecordFn) &&
-        !(pending && pending_region == Region::kRecordFn)) {
-      ctx.report(i + 1, "R3",
-                 "obs instrument mutation in a hot path outside a record_* "
-                 "function: outline it and gate the call on the cached "
-                 "enabled flag (obs_enabled_->load(relaxed))");
-    }
-
-    // Brace tracking, attaching pending regions at their opening brace.
-    for (char c : code) {
-      if (c == '{') {
-        ++depth;
-        if (pending) {
-          stack.push_back({pending_region, depth - 1});
-          pending = false;
-        }
-      } else if (c == '}') {
-        --depth;
-        while (!stack.empty() && stack.back().close_depth >= depth) {
-          stack.pop_back();
-        }
-      }
-    }
-  }
-
-  if (saw_record_fn && !has_guard) {
-    ctx.report(first_record_line, "R3",
-               "record_* instrumentation present but no cached enabled-flag "
-               "guard found: cache MetricsRegistry::global().enabled_flag() "
-               "and branch on obs_enabled_->load(std::memory_order_relaxed)");
-  }
-}
-
-// ------------------------------------------------------------------- R4 ----
-
-void check_r4(Context& ctx) {
-  if (thread_pool_path(ctx.path)) return;  // the one sanctioned implementation
-  static const std::regex kRawThread(R"(std::j?thread\b(?!::))");
-  static const std::regex kDetach(R"(\.\s*detach\s*\()");
-  static const std::regex kParallelForCall(R"(\bparallel_for\s*\()");
-
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    const std::string& code = ctx.lines[i].code;
-    if (code.empty()) continue;
-    if (std::regex_search(code, kRawThread)) {
-      ctx.report(i + 1, "R4",
-                 "raw std::thread outside src/util/thread_pool: use "
-                 "ThreadPool (or justify with // lts-lint: thread-ok(...))");
-    }
-    if (std::regex_search(code, kDetach)) {
-      ctx.report(i + 1, "R4",
-                 "detach() leaks a thread past its owner's lifetime: join "
-                 "via ThreadPool futures instead");
-    }
-    if (std::regex_search(code, kParallelForCall)) {
-      // Join the argument list (bounded lookahead) to see the lambda's
-      // capture list even when it starts on a later line.
-      std::string call = code;
-      for (std::size_t j = i + 1; j < ctx.lines.size() && j <= i + 12; ++j) {
-        if (call.find("[&") != std::string::npos ||
-            call.find('{') != std::string::npos ||
-            call.find(';') != std::string::npos) {
-          break;
-        }
-        call += ctx.lines[j].code;
-      }
-      if (call.find("[&") == std::string::npos) continue;  // no shared capture
-      if (ctx.consume_shared_guarded(i + 1)) continue;
-      ctx.report(i + 1, "R4",
-                 "parallel_for lambda captures by reference: declare the "
-                 "sharing discipline with // lts-lint: "
-                 "shared-guarded(mutex|atomic|partitioned|site-partitioned)");
-    }
-  }
-}
-
-// ------------------------------------------------------------------- R5 ----
-
-void check_r5(Context& ctx) {
-  if (!is_header_path(ctx.path)) return;
-  bool guarded = false;
-  for (const SourceLine& l : ctx.lines) {
-    if (l.code.find("#pragma once") != std::string::npos ||
-        l.code.find("#ifndef") != std::string::npos) {
-      guarded = true;
-      break;
-    }
-    // Only leading blank/comment lines may precede the guard.
-    if (!is_blank(l.code)) break;
-  }
-  if (!guarded) {
-    ctx.report(1, "R5",
-               "header lacks #pragma once (or an include guard) before its "
-               "first declaration");
-  }
-  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    if (std::regex_search(ctx.lines[i].code, kUsingNamespace)) {
-      ctx.report(i + 1, "R5",
-                 "`using namespace` in a header leaks into every includer");
-    }
-  }
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 }  // namespace
-
-// ---------------------------------------------------------------- driver ----
 
 std::vector<Diagnostic> lint_text(const std::string& rel_path,
                                   const std::string& content,
                                   const std::string& companion,
                                   const Options& opts) {
-  Context ctx;
-  ctx.path = rel_path;
-  ctx.lines = preprocess(content);
-  ctx.waivers = collect_waivers(ctx.lines, ctx.diags, ctx.path);
-  const std::vector<SourceLine> companion_lines = preprocess(companion);
-
-  check_r1(ctx);
-  check_r2(ctx, companion_lines);
-  check_r3(ctx, companion_lines);
-  check_r4(ctx);
-  check_r5(ctx);
-
-  if (opts.check_unused_waivers) {
-    for (const Waiver& w : ctx.waivers) {
-      if (!w.used) {
-        ctx.diags.push_back(
-            {ctx.path, w.line, "waiver-unused",
-             "waiver '" + w.token +
-                 "' suppresses nothing: remove it (stale waivers hide "
-                 "future violations)"});
-      }
-    }
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.emplace_back(rel_path, content);
+  if (!companion.empty() &&
+      (ends_with(rel_path, ".cpp") || ends_with(rel_path, ".cc"))) {
+    // The companion is addressable as the sibling header, which is exactly
+    // where ProjectModel::companion_of falls back to.
+    std::string header = rel_path;
+    header.erase(header.rfind('.'));
+    header += ".hpp";
+    sources.emplace_back(std::move(header), companion);
   }
-
-  std::sort(ctx.diags.begin(), ctx.diags.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.path, a.line, a.rule) <
-                     std::tie(b.path, b.line, b.rule);
-            });
-  return ctx.diags;
+  const ProjectModel project =
+      ProjectModel::from_files(sources, {"src", "tools"}, waiver_tokens());
+  return run_rules(project.files.at(rel_path), project,
+                   opts.check_unused_waivers);
 }
 
 std::vector<Diagnostic> lint_tree(const std::string& root,
@@ -656,36 +68,52 @@ std::vector<Diagnostic> lint_tree(const std::string& root,
   }
   std::sort(files.begin(), files.end());
 
-  auto read_file = [](const fs::path& p) {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return buf.str();
+  // The content cache: every file — header or source — is read and parsed
+  // exactly once here; companion lookups hit the model.
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const std::string& rel : files) {
+    sources.emplace_back(rel, read_file(fs::path(root) / rel));
+  }
+
+  std::vector<std::string> roots = {"src", "tools"};
+  for (const char* cc :
+       {"build/compile_commands.json", "compile_commands.json"}) {
+    const fs::path cc_path = fs::path(root) / cc;
+    if (fs::exists(cc_path)) {
+      std::error_code ec;
+      const fs::path abs_root = fs::canonical(root, ec);
+      roots = include_roots_from_compile_commands(
+          read_file(cc_path),
+          ec ? std::string(root) : abs_root.generic_string());
+      break;
+    }
+  }
+
+  const ProjectModel project =
+      ProjectModel::from_files(sources, roots, waiver_tokens());
+
+  // Per-file passes are independent (each writes only its own slot), so the
+  // merge below is deterministic for any worker count.
+  std::vector<std::vector<Diagnostic>> per_file(files.size());
+  auto run_one = [&](std::size_t i) {
+    per_file[i] = run_rules(project.files.at(files[i]), project,
+                            opts.check_unused_waivers);
   };
+  if (opts.jobs == 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) run_one(i);
+  } else if (opts.jobs == 0) {
+    ThreadPool::global().parallel_for(files.size(), run_one);
+  } else {
+    ThreadPool pool(opts.jobs);
+    pool.parallel_for(files.size(), run_one);
+  }
 
   std::vector<Diagnostic> all;
-  for (const std::string& rel : files) {
-    const fs::path abs = fs::path(root) / rel;
-    std::string companion;
-    if (ends_with(rel, ".cpp") || ends_with(rel, ".cc")) {
-      fs::path header = abs;
-      header.replace_extension(".hpp");
-      if (fs::exists(header)) companion = read_file(header);
-    }
-    std::vector<Diagnostic> diags =
-        lint_text(rel, read_file(abs), companion, opts);
+  for (std::vector<Diagnostic>& diags : per_file) {
     all.insert(all.end(), diags.begin(), diags.end());
   }
   return all;
-}
-
-std::string format_diagnostics(const std::vector<Diagnostic>& diags) {
-  std::ostringstream out;
-  for (const Diagnostic& d : diags) {
-    out << d.path << ':' << d.line << ": error[" << d.rule
-        << "]: " << d.message << '\n';
-  }
-  return out.str();
 }
 
 }  // namespace lts::lint

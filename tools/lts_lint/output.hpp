@@ -1,0 +1,51 @@
+// lts_lint output backends and baseline diffing.
+//
+// Three renderings of the same diagnostic list: GCC-style text (editors,
+// ctest logs), a flat JSON array (scripting), and SARIF 2.1.0 (code-scanning
+// upload; the rule table is generated from the registry so SARIF rule
+// metadata never drifts from --list-rules).
+//
+// The baseline is a checked-in JSON array of fingerprint counts. A
+// fingerprint is (path, rule, message) — deliberately *without* the line
+// number, so unrelated edits that shift a pre-existing finding do not count
+// as "new". Counts make the subtraction multiset-aware: a file with two
+// identical pre-existing findings does not get a third for free.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lts_lint/model.hpp"
+
+namespace lts::lint {
+
+/// GCC-style rendering: "path:line: error[rule]: message\n" per entry.
+std::string format_diagnostics(const std::vector<Diagnostic>& diags);
+
+/// Flat JSON array: [{"path","line","rule","message"}...], pretty-printed.
+std::string to_json(const std::vector<Diagnostic>& diags);
+
+/// SARIF 2.1.0 document with the registry-derived rule table. Deterministic:
+/// object keys are sorted (lts::Json is std::map-backed) and results keep
+/// the input (path, line, rule) order.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+/// Fingerprint multiset: fingerprint -> count.
+using Baseline = std::map<std::string, int>;
+
+std::string fingerprint(const Diagnostic& d);
+
+/// Serializes the diagnostics' fingerprint counts as the baseline document.
+std::string write_baseline(const std::vector<Diagnostic>& diags);
+
+/// Parses a baseline document; throws lts::Error on malformed input.
+Baseline load_baseline(const std::string& text);
+
+/// Diagnostics not covered by the baseline: each fingerprint consumes
+/// baseline count first; the overflow (new findings) is returned in the
+/// input order.
+std::vector<Diagnostic> diff_baseline(const std::vector<Diagnostic>& diags,
+                                      const Baseline& baseline);
+
+}  // namespace lts::lint

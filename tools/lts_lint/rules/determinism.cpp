@@ -1,0 +1,101 @@
+// R1 (nondeterminism sources) and R2 (unordered containers), ported from
+// the v1 single-file linter onto the shared project model. R2's cross-file
+// half now reads the companion header out of the ProjectModel instead of
+// re-reading it from disk per .cpp.
+#include <regex>
+#include <set>
+
+#include "lts_lint/rules.hpp"
+
+namespace lts::lint {
+namespace {
+
+bool r1_scope(const std::string& p) {
+  // Wall-clock timing is the obs layer's business (span durations); the CLI
+  // layer may read the environment. Everything else under src/ must be a
+  // pure function of its inputs.
+  return starts_with(p, "src/") && !starts_with(p, "src/obs/");
+}
+
+bool r2_scope(const std::string& p) {
+  return under_any(p, {"src/simcore/", "src/net/", "src/core/",
+                       "src/cluster/", "src/spark/"});
+}
+
+}  // namespace
+
+void check_determinism(RuleContext& ctx) {
+  if (!r1_scope(ctx.path())) return;
+  struct Pattern {
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<Pattern> kPatterns = [] {
+    std::vector<Pattern> p;
+    p.push_back({std::regex(R"(std::random_device)"),
+                 "std::random_device (seed via lts::Rng instead)"});
+    p.push_back({std::regex(R"(\bs?rand\s*\()"),
+                 "rand()/srand() (use the seeded lts::Rng streams)"});
+    p.push_back({std::regex(
+                     R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
+                 "wall-clock time (simulation time comes from sim::Engine)"});
+    return p;
+  }();
+  static const std::regex kGetenv(R"(\bgetenv\s*\()");
+  for (std::size_t i = 0; i < ctx.lines().size(); ++i) {
+    const std::string& code = ctx.lines()[i].code;
+    if (code.empty()) continue;
+    for (const Pattern& p : kPatterns) {
+      if (std::regex_search(code, p.re)) {
+        ctx.report(i + 1, "R1",
+                   std::string("nondeterminism source in sim/decision code: ") +
+                       p.what);
+      }
+    }
+    if (std::regex_search(code, kGetenv)) {
+      ctx.report(i + 1, "R1",
+                 "getenv outside the CLI layer: configuration must flow "
+                 "through explicit options");
+    }
+  }
+}
+
+void check_ordering(RuleContext& ctx) {
+  if (!r2_scope(ctx.path())) return;
+  static const std::regex kUnordered(R"(\bunordered_(map|set)\b)");
+  static const std::regex kPreprocessor(R"(^\s*#)");
+  for (std::size_t i = 0; i < ctx.lines().size(); ++i) {
+    // #include lines are exempt: the rule targets declarations and
+    // iteration, and an include with no use is dead code, not a hazard.
+    if (std::regex_search(ctx.lines()[i].code, kPreprocessor)) continue;
+    if (std::regex_search(ctx.lines()[i].code, kUnordered)) {
+      ctx.report(i + 1, "R2",
+                 "unordered container in determinism-critical code: "
+                 "hash-iteration order is implementation-defined; use "
+                 "std::map/std::set or sorted iteration");
+    }
+  }
+  // Iteration in this file over a container the companion header declared.
+  if (ctx.companion == nullptr) return;
+  std::set<std::string> names = unordered_names(ctx.companion->lines);
+  if (names.empty()) return;
+  for (std::size_t i = 0; i < ctx.lines().size(); ++i) {
+    const std::string& code = ctx.lines()[i].code;
+    for (const std::string& name : names) {
+      const bool range_for =
+          std::regex_search(code, std::regex(R"(for\s*\([^;)]*:\s*)" + name +
+                                             R"(\b)"));
+      const bool begin_call =
+          code.find(name + ".begin(") != std::string::npos ||
+          code.find(name + ".cbegin(") != std::string::npos;
+      if (range_for || begin_call) {
+        ctx.report(i + 1, "R2",
+                   "iteration over unordered container '" + name +
+                       "' declared in the companion header: order is "
+                       "implementation-defined");
+      }
+    }
+  }
+}
+
+}  // namespace lts::lint

@@ -1,0 +1,137 @@
+// R7: floating-point reduction order. FP addition is not associative, so
+// any reduction whose operand order depends on thread interleaving
+// (std::reduce, accumulation into state shared across parallel_for items)
+// or on hash order (std::accumulate over an unordered container) yields
+// run-to-run ULP differences that the byte-identical golden replay and the
+// bit-exact batched-vs-scalar serving checks both reject.
+//
+// Accumulation into a variable *declared inside* the parallel_for extent is
+// per-item state and deterministic — only scalar names declared outside the
+// extent (shared accumulators, members) are flagged. Subscripted updates
+// (`v[i] += x`) are exempt: each element's final value is independent of
+// item interleaving under the partitioned disciplines R4 already audits,
+// so they are an ownership question, not an ordering one.
+#include <regex>
+#include <set>
+
+#include "lts_lint/rules.hpp"
+
+namespace lts::lint {
+namespace {
+
+bool r7_scope(const std::string& p) {
+  return under_any(p, {"src/simcore/", "src/net/", "src/core/",
+                       "src/cluster/", "src/spark/", "src/ml/"});
+}
+
+/// Names declared with a floating-point scalar type on `code`, appended to
+/// `scalars`. `Rate`/`SimTime` are the repo's double aliases.
+void collect_fp_names(const std::string& code, std::set<std::string>& scalars) {
+  static const std::regex kScalar(
+      R"(\b(?:double|float|Rate|SimTime)\s+([A-Za-z_]\w*)\s*(?:=|;|,|\)|\{))");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kScalar);
+       it != std::sregex_iterator(); ++it) {
+    scalars.insert((*it)[1].str());
+  }
+}
+
+}  // namespace
+
+void check_fp_order(RuleContext& ctx) {
+  if (!r7_scope(ctx.path())) return;
+
+  static const std::regex kReduce(R"(std::(reduce|transform_reduce)\s*\()");
+  static const std::regex kAccumulate(R"(std::accumulate\s*\(\s*([A-Za-z_]\w*)\s*\.)");
+  static const std::regex kParallelFor(R"(\bparallel_for\s*\()");
+  static const std::regex kFpAccum(
+      R"((\b[A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)?[+\-]=(?!=))");
+
+  // FP names visible file-wide (locals anywhere in the file plus companion
+  // members/declarations): the candidate set for shared accumulators.
+  std::set<std::string> fp_scalars;
+  for (const SourceLine& l : ctx.lines()) {
+    collect_fp_names(l.code, fp_scalars);
+  }
+  if (ctx.companion != nullptr) {
+    for (const SourceLine& l : ctx.companion->lines) {
+      collect_fp_names(l.code, fp_scalars);
+    }
+  }
+
+  std::set<std::string> unordered;  // for the accumulate check
+  {
+    unordered = unordered_names(ctx.lines());
+    if (ctx.companion != nullptr) {
+      for (const std::string& n : unordered_names(ctx.companion->lines)) {
+        unordered.insert(n);
+      }
+    }
+  }
+
+  // Parallel-for extents: paren-matched from each call site.
+  int par_depth = 0;  // >0 while inside a parallel_for argument list
+  std::set<std::string> local_scalars;  // declared inside the extent
+
+  for (std::size_t i = 0; i < ctx.lines().size(); ++i) {
+    const std::string& code = ctx.lines()[i].code;
+    if (code.empty()) continue;
+
+    if (std::regex_search(code, kReduce)) {
+      ctx.report(i + 1, "R7",
+                 "std::reduce/transform_reduce: reduction order is "
+                 "unspecified, FP results vary run to run; use a sequential "
+                 "accumulate or a fixed-shape pairwise tree");
+    }
+    std::smatch am;
+    if (std::regex_search(code, am, kAccumulate) &&
+        unordered.count(am[1].str()) > 0) {
+      ctx.report(i + 1, "R7",
+                 "std::accumulate over unordered container '" + am[1].str() +
+                     "': hash order decides the FP summation order; iterate "
+                     "a sorted view instead");
+    }
+
+    // Track parallel_for extents by paren depth so FP accumulation into
+    // state shared across items is caught wherever the lambda body sits.
+    std::size_t scan_from = 0;
+    std::smatch pm;
+    if (par_depth == 0) {
+      if (std::regex_search(code, pm, kParallelFor)) {
+        scan_from = pm.position(0) + pm.length(0);
+        par_depth = 1;
+        local_scalars.clear();
+      } else {
+        continue;
+      }
+    }
+
+    // In-extent: declarations first (a `double s = 0;` seen before its
+    // later `s +=` makes the accumulation per-item, not shared).
+    collect_fp_names(code.substr(scan_from), local_scalars);
+
+    for (auto it = std::sregex_iterator(code.begin() + scan_from, code.end(),
+                                        kFpAccum);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if ((*it)[0].str().find('[') != std::string::npos) continue;
+      if (fp_scalars.count(name) > 0 && local_scalars.count(name) == 0) {
+        ctx.report(i + 1, "R7",
+                   "FP accumulation into '" + name +
+                       "' shared across parallel_for items: summation order "
+                       "follows thread interleaving; accumulate per item and "
+                       "combine in a fixed order after the join");
+      }
+    }
+
+    for (std::size_t k = scan_from; k < code.size(); ++k) {
+      if (code[k] == '(') ++par_depth;
+      if (code[k] == ')') {
+        --par_depth;
+        if (par_depth == 0) break;  // extent closed mid-line
+      }
+    }
+    if (par_depth < 0) par_depth = 0;
+  }
+}
+
+}  // namespace lts::lint

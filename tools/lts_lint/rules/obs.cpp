@@ -1,0 +1,189 @@
+// R3: obs instrumentation in hot paths (simcore, net) must follow the
+// cached-enabled-flag pattern — registrations hoisted into a static
+// *Metrics struct, mutations confined to an outlined record_* function,
+// the call gated on obs_enabled_->load(relaxed). Ported from v1; the
+// instrument-name table now reads the companion header from the project
+// model instead of a re-parsed string.
+#include <algorithm>
+#include <regex>
+#include <set>
+
+#include "lts_lint/rules.hpp"
+
+namespace lts::lint {
+namespace {
+
+bool r3_scope(const std::string& p) {
+  return under_any(p, {"src/simcore/", "src/net/"});
+}
+
+/// Region kinds tracked while scanning a hot-path file. The PR-2 pattern
+/// keeps hot loops clean: instruments are registered once inside a static
+/// *Metrics struct, mutated only inside an outlined record_* function, and
+/// the call into record_* is gated on a cached enabled flag.
+enum class Region { kMetricsStruct, kRecordFn };
+
+}  // namespace
+
+void check_obs(RuleContext& ctx) {
+  if (!r3_scope(ctx.path())) return;
+
+  static const std::regex kMetricsStructRe(R"(\bstruct\s+\w*Metrics\b)");
+  static const std::regex kRecordDefRe(R"(\brecord_\w+\s*\()");
+  static const std::regex kRegisterRe(R"(\bobs::(counter|gauge|histogram)\s*\()");
+  static const std::regex kInstrumentDeclRe(
+      R"(obs::(?:Counter|Gauge|Histogram)&\s*(\w+))");
+  static const std::regex kGuardRe(
+      R"(obs_enabled_\s*->\s*load\s*\(\s*std::memory_order_relaxed\s*\))");
+
+  // Instrument member names (from this file and the companion header) whose
+  // .set()/.add() calls count as obs mutations; .inc()/.observe() are
+  // obs-specific enough to match unconditionally.
+  static const std::vector<SourceLine> kNoLines;
+  const std::vector<SourceLine>& companion =
+      ctx.companion != nullptr ? ctx.companion->lines : kNoLines;
+  std::set<std::string> instruments;
+  for (const std::vector<SourceLine>* lines : {&ctx.lines(), &companion}) {
+    for (const SourceLine& l : *lines) {
+      std::smatch m;
+      std::string rest = l.code;
+      while (std::regex_search(rest, m, kInstrumentDeclRe)) {
+        instruments.insert(m[1].str());
+        rest = m.suffix();
+      }
+    }
+  }
+
+  bool has_guard = false;
+  for (const SourceLine& l : ctx.lines()) {
+    if (std::regex_search(l.code, kGuardRe)) {
+      has_guard = true;
+      break;
+    }
+  }
+
+  // Forward scan with a region stack keyed on brace depth.
+  struct Open {
+    Region region;
+    int close_depth;  // depth to return to for the region to end
+  };
+  std::vector<Open> stack;
+  int depth = 0;
+  bool saw_record_fn = false;
+  std::size_t first_record_line = 0;
+
+  // Pending region whose opening brace has not appeared yet.
+  bool pending = false;
+  Region pending_region = Region::kMetricsStruct;
+
+  auto in_region = [&](Region r) {
+    return std::any_of(stack.begin(), stack.end(),
+                       [&](const Open& o) { return o.region == r; });
+  };
+
+  /// True if the statement containing line i (joined with up to 4 previous
+  /// lines, back to the prior ';', '{' or '}') contains `static` — the
+  /// function-local `static obs::Counter& c = obs::counter(...)` idiom.
+  auto statement_is_static = [&](std::size_t i) {
+    std::string stmt;
+    for (std::size_t back = 0; back <= 4 && back <= i; ++back) {
+      const std::string& code = ctx.lines()[i - back].code;
+      if (back > 0) {
+        const std::size_t boundary = code.find_last_of(";{}");
+        if (boundary != std::string::npos) {
+          stmt.insert(0, code.substr(boundary + 1) + " ");
+          break;
+        }
+      }
+      stmt.insert(0, code + " ");
+    }
+    return std::regex_search(stmt, std::regex(R"(\bstatic\b)"));
+  };
+
+  for (std::size_t i = 0; i < ctx.lines().size(); ++i) {
+    const std::string& code = ctx.lines()[i].code;
+
+    // Region openers are recognized before brace counting so a same-line
+    // '{' attaches to the region.
+    if (!pending && std::regex_search(code, kMetricsStructRe)) {
+      pending = true;
+      pending_region = Region::kMetricsStruct;
+    } else if (!pending && std::regex_search(code, kRecordDefRe)) {
+      // A definition's '{' appears (possibly lines later) before any ';';
+      // declarations end with ';' first and open no region.
+      for (std::size_t j = i; j < ctx.lines().size() && j <= i + 6; ++j) {
+        const std::string& look = ctx.lines()[j].code;
+        const std::size_t brace = look.find('{');
+        const std::size_t semi = look.find(';');
+        if (brace != std::string::npos &&
+            (semi == std::string::npos || brace < semi)) {
+          pending = true;
+          pending_region = Region::kRecordFn;
+          saw_record_fn = true;
+          if (first_record_line == 0) first_record_line = i + 1;
+          break;
+        }
+        if (semi != std::string::npos) break;
+      }
+    }
+
+    // Registrations: allowed inside a *Metrics struct or a static statement.
+    if (std::regex_search(code, kRegisterRe)) {
+      const bool allowed = in_region(Region::kMetricsStruct) ||
+                           (pending && pending_region == Region::kMetricsStruct) ||
+                           statement_is_static(i);
+      if (!allowed) {
+        ctx.report(i + 1, "R3",
+                   "obs instrument registration in a hot path: hoist into a "
+                   "static *Metrics struct so lookups never run per event");
+      }
+    }
+
+    // Mutations: allowed only inside record_* functions.
+    bool mutation = std::regex_search(
+        code, std::regex(R"(\.\s*(inc|observe)\s*\()"));
+    if (!mutation) {
+      for (const std::string& name : instruments) {
+        if (std::regex_search(
+                code, std::regex(R"(\b)" + name + R"(\s*\.\s*(set|add)\s*\()"))) {
+          mutation = true;
+          break;
+        }
+      }
+    }
+    // A pending region counts as entered: a one-line definition's mutation
+    // shares the line with the '{' that brace-tracking sees only afterward.
+    if (mutation && !in_region(Region::kRecordFn) &&
+        !(pending && pending_region == Region::kRecordFn)) {
+      ctx.report(i + 1, "R3",
+                 "obs instrument mutation in a hot path outside a record_* "
+                 "function: outline it and gate the call on the cached "
+                 "enabled flag (obs_enabled_->load(relaxed))");
+    }
+
+    // Brace tracking, attaching pending regions at their opening brace.
+    for (char c : code) {
+      if (c == '{') {
+        ++depth;
+        if (pending) {
+          stack.push_back({pending_region, depth - 1});
+          pending = false;
+        }
+      } else if (c == '}') {
+        --depth;
+        while (!stack.empty() && stack.back().close_depth >= depth) {
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  if (saw_record_fn && !has_guard) {
+    ctx.report(first_record_line, "R3",
+               "record_* instrumentation present but no cached enabled-flag "
+               "guard found: cache MetricsRegistry::global().enabled_flag() "
+               "and branch on obs_enabled_->load(std::memory_order_relaxed)");
+  }
+}
+
+}  // namespace lts::lint

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Structural schema check for lts_lint's SARIF output.
+
+CI runs this against `lts_lint --format=sarif` so a refactor of the output
+backend cannot silently produce a document that GitHub code scanning (or any
+SARIF 2.1.0 consumer) would reject. Stdlib only — no jsonschema dependency.
+
+Usage: validate_sarif.py <file.sarif>
+Exits 0 when the document is well-formed, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_sarif: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def main(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("version") == "2.1.0",
+            f"version must be '2.1.0', got {doc.get('version')!r}")
+    require("sarif-schema-2.1.0" in doc.get("$schema", ""),
+            "$schema must reference the SARIF 2.1.0 schema")
+
+    runs = doc.get("runs")
+    require(isinstance(runs, list) and runs, "runs must be a non-empty array")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        require(isinstance(driver.get("name"), str) and driver["name"],
+                "tool.driver.name must be a non-empty string")
+
+        rule_ids = set()
+        rules = driver.get("rules", [])
+        require(isinstance(rules, list) and rules,
+                "tool.driver.rules must be a non-empty array")
+        for rule in rules:
+            rid = rule.get("id")
+            require(isinstance(rid, str) and rid, "every rule needs an id")
+            require(rid not in rule_ids, f"duplicate rule id {rid}")
+            rule_ids.add(rid)
+            require(
+                isinstance(rule.get("shortDescription", {}).get("text"), str),
+                f"rule {rid} needs shortDescription.text")
+
+        results = run.get("results")
+        require(isinstance(results, list),
+                "results must be an array (empty when clean)")
+        for i, res in enumerate(results):
+            where = f"results[{i}]"
+            rid = res.get("ruleId")
+            require(rid in rule_ids,
+                    f"{where}.ruleId {rid!r} missing from the rule table")
+            require(res.get("level") in ("error", "warning", "note"),
+                    f"{where}.level invalid: {res.get('level')!r}")
+            require(isinstance(res.get("message", {}).get("text"), str),
+                    f"{where} needs message.text")
+            locs = res.get("locations")
+            require(isinstance(locs, list) and locs,
+                    f"{where} needs at least one location")
+            phys = locs[0].get("physicalLocation", {})
+            uri = phys.get("artifactLocation", {}).get("uri")
+            require(isinstance(uri, str) and uri,
+                    f"{where} needs physicalLocation.artifactLocation.uri")
+            start = phys.get("region", {}).get("startLine")
+            require(isinstance(start, int) and start >= 1,
+                    f"{where}.region.startLine must be an int >= 1")
+
+    n = sum(len(r.get("results", [])) for r in runs)
+    print(f"validate_sarif: OK ({len(runs)} run(s), {n} result(s))")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: validate_sarif.py <file.sarif>")
+    main(sys.argv[1])
