@@ -49,7 +49,13 @@ struct RetrainMetrics {
   obs::Histogram& duration = obs::histogram(
       "lts_retrain_duration_seconds",
       {0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0}, {},
-      "Wall-clock time spent per successful refit");
+      "Wall-clock time of the full refit attempt (train + holdout gate + "
+      "swap), observed for every attempt that reached training — swapped, "
+      "rejected, and failed alike");
+  obs::Gauge& train_rate = obs::gauge(
+      "lts_train_rows_per_second", {},
+      "Training throughput of the most recent refit attempt: window rows "
+      "divided by the full refit wall time");
   static RetrainMetrics& get() {
     static RetrainMetrics m;
     return m;
@@ -244,32 +250,41 @@ RetrainEvent OnlineTrainer::retrain_now(bool drift_triggered) {
               "previous model keeps serving",
               event.holdout_rmse, event.serving_rmse);
           metrics.rejected.inc();
-          return event;
         }
       }
     }
 
-    ++version_;
-    model_ = std::shared_ptr<const ml::Regressor>(std::move(candidate));
-    event.outcome = RetrainOutcome::kSwapped;
-    event.version = version_;
-    event.detail = warm ? "warm refit" : "cold fit";
-    // A fresh model invalidates the error history of the old one.
-    drift_seeded_ = false;
-    drift_score_ = 0.0;
-    metrics.swapped.inc();
-    metrics.model_version.set(static_cast<double>(version_));
-    metrics.drift_score.set(0.0);
-    metrics.duration.observe(
-        // lts-lint: nondeterminism-ok(wall-clock delta recorded into the obs histogram; values are observational only and never read back)
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_begin)
-            .count());
+    if (event.outcome != RetrainOutcome::kRejected) {
+      ++version_;
+      model_ = std::shared_ptr<const ml::Regressor>(std::move(candidate));
+      event.outcome = RetrainOutcome::kSwapped;
+      event.version = version_;
+      event.detail = warm ? "warm refit" : "cold fit";
+      // A fresh model invalidates the error history of the old one.
+      drift_seeded_ = false;
+      drift_score_ = 0.0;
+      metrics.swapped.inc();
+      metrics.model_version.set(static_cast<double>(version_));
+      metrics.drift_score.set(0.0);
+    }
   } catch (const std::exception& e) {
     event.outcome = RetrainOutcome::kFailed;
     event.detail = std::string("refit failed: ") + e.what() +
                    "; previous model keeps serving";
     metrics.failed.inc();
+  }
+  // Retrain latency is decision-loop latency now that refits run inside the
+  // serving loop: record the full attempt (train + gate + swap) whether the
+  // candidate won, lost the gate, or threw — only pre-training skips are
+  // excluded — plus the rows-per-second throughput the attempt achieved.
+  const double elapsed =
+      // lts-lint: nondeterminism-ok(wall-clock delta recorded into the obs histogram/gauge; values are observational only and never read back)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+  metrics.duration.observe(elapsed);
+  if (elapsed > 0.0) {
+    metrics.train_rate.set(static_cast<double>(event.window_rows) / elapsed);
   }
   return event;
 }

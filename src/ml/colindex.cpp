@@ -1,0 +1,254 @@
+#include "ml/colindex.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lts::ml {
+namespace {
+
+std::atomic<bool> g_parallel_split_scan{true};
+
+}  // namespace
+
+void set_parallel_split_scan(bool enabled) {
+  g_parallel_split_scan.store(enabled, std::memory_order_relaxed);
+}
+
+bool parallel_split_scan_enabled() {
+  return g_parallel_split_scan.load(std::memory_order_relaxed);
+}
+
+bool use_parallel_columns(std::size_t n, std::size_t cols) {
+  return parallel_split_scan_enabled() && cols > 1 &&
+         n >= kParallelScanMinRows;
+}
+
+void SortedColumns::build_by_value_target(const Matrix& x,
+                                          const std::vector<double>& y,
+                                          std::span<const std::size_t> rows) {
+  n_ = rows.size();
+  cols_ = x.cols();
+  num_rows_ = x.rows();
+  x_.resize(cols_ * n_);
+  row_.resize(cols_ * n_);
+  tmp_x_.resize(n_);
+  tmp_row_.resize(n_);
+  goes_left_.resize(num_rows_);
+
+  struct Entry {
+    double x;
+    double y;
+    std::uint32_t row;
+  };
+  auto build_one = [&](std::size_t f) {
+    // Per-column scratch: one allocation per (fit, feature), never per
+    // node, and column builds on different features are independent.
+    std::vector<Entry> entries(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      const auto r = rows[k];
+      entries[k] = Entry{x(r, f), y[r], static_cast<std::uint32_t>(r)};
+    }
+    // The (x, y) prefix matches the pre-overhaul per-node sort key; the
+    // trailing row id only orders fully-tied occurrences, which are
+    // interchangeable in every downstream prefix sum.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.x != b.x) return a.x < b.x;
+                if (a.y != b.y) return a.y < b.y;
+                return a.row < b.row;
+              });
+    double* cx = x_.data() + f * n_;
+    std::uint32_t* cr = row_.data() + f * n_;
+    for (std::size_t k = 0; k < n_; ++k) {
+      cx[k] = entries[k].x;
+      cr[k] = entries[k].row;
+    }
+  };
+  if (use_parallel_columns(n_, cols_)) {
+    // lts-lint: shared-guarded(partitioned: column f writes only the f-th slices of x_/row_; inputs are read-only)
+    ThreadPool::global().parallel_for(cols_, [&](std::size_t f) {
+      build_one(f);
+    });
+  } else {
+    for (std::size_t f = 0; f < cols_; ++f) build_one(f);
+  }
+}
+
+void SortedColumns::build_by_value_row(const Matrix& x) {
+  n_ = x.rows();
+  cols_ = x.cols();
+  num_rows_ = x.rows();
+  x_.resize(cols_ * n_);
+  row_.resize(cols_ * n_);
+  tmp_x_.resize(n_);
+  tmp_row_.resize(n_);
+  goes_left_.resize(num_rows_);
+
+  struct Entry {
+    double x;
+    std::uint32_t row;
+  };
+  auto build_one = [&](std::size_t f) {
+    std::vector<Entry> entries(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+      entries[r] = Entry{x(r, f), static_cast<std::uint32_t>(r)};
+    }
+    // (x, row) is exactly the pre-overhaul per-node sort key: GBT rows are
+    // distinct, so this order is unique.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.x != b.x) return a.x < b.x;
+                return a.row < b.row;
+              });
+    double* cx = x_.data() + f * n_;
+    std::uint32_t* cr = row_.data() + f * n_;
+    for (std::size_t k = 0; k < n_; ++k) {
+      cx[k] = entries[k].x;
+      cr[k] = entries[k].row;
+    }
+  };
+  if (use_parallel_columns(n_, cols_)) {
+    // lts-lint: shared-guarded(partitioned: column f writes only the f-th slices of x_/row_; the matrix is read-only)
+    ThreadPool::global().parallel_for(cols_, [&](std::size_t f) {
+      build_one(f);
+    });
+  } else {
+    for (std::size_t f = 0; f < cols_; ++f) build_one(f);
+  }
+}
+
+void SortedColumns::assign_filtered(const SortedColumns& from,
+                                    const std::vector<unsigned char>& keep,
+                                    std::size_t kept,
+                                    std::span<const std::size_t> features) {
+  LTS_ASSERT(this != &from);
+  n_ = kept;
+  cols_ = features.size();
+  num_rows_ = from.num_rows_;
+  x_.resize(cols_ * n_);
+  row_.resize(cols_ * n_);
+  tmp_x_.resize(n_);
+  tmp_row_.resize(n_);
+  goes_left_.resize(num_rows_);
+
+  auto filter_one = [&](std::size_t c) {
+    const double* sx = from.x_col(features[c]);
+    const std::uint32_t* sr = from.row_col(features[c]);
+    double* cx = x_.data() + c * n_;
+    std::uint32_t* cr = row_.data() + c * n_;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < from.n_; ++i) {
+      if (keep[sr[i]]) {
+        cx[k] = sx[i];
+        cr[k] = sr[i];
+        ++k;
+      }
+    }
+    LTS_ASSERT(k == kept);
+  };
+  if (use_parallel_columns(from.n_, cols_)) {
+    // lts-lint: shared-guarded(partitioned: column c writes only the c-th slices of x_/row_; `from` and the mask are read-only)
+    ThreadPool::global().parallel_for(cols_, [&](std::size_t c) {
+      filter_one(c);
+    });
+  } else {
+    for (std::size_t c = 0; c < cols_; ++c) filter_one(c);
+  }
+}
+
+void SortedColumns::assign_bootstrap(const SortedColumns& from,
+                                     std::span<const std::uint32_t> mult,
+                                     std::size_t total) {
+  LTS_ASSERT(this != &from);
+  LTS_ASSERT(mult.size() == from.num_rows_);
+  n_ = total;
+  cols_ = from.cols_;
+  num_rows_ = from.num_rows_;
+  x_.resize(cols_ * n_);
+  row_.resize(cols_ * n_);
+  tmp_x_.resize(n_);
+  tmp_row_.resize(n_);
+  goes_left_.resize(num_rows_);
+
+  auto expand_one = [&](std::size_t c) {
+    const double* sx = from.x_col(c);
+    const std::uint32_t* sr = from.row_col(c);
+    double* cx = x_.data() + c * n_;
+    std::uint32_t* cr = row_.data() + c * n_;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < from.n_; ++i) {
+      const double x = sx[i];
+      const std::uint32_t r = sr[i];
+      for (std::uint32_t m = mult[r]; m > 0; --m) {
+        cx[k] = x;
+        cr[k] = r;
+        ++k;
+      }
+    }
+    LTS_ASSERT(k == total);
+  };
+  if (use_parallel_columns(n_, cols_)) {
+    // lts-lint: shared-guarded(partitioned: column c writes only the c-th slices of x_/row_; `from` and the multiplicities are read-only)
+    ThreadPool::global().parallel_for(cols_, [&](std::size_t c) {
+      expand_one(c);
+    });
+  } else {
+    for (std::size_t c = 0; c < cols_; ++c) expand_one(c);
+  }
+}
+
+std::size_t SortedColumns::repartition(std::size_t begin, std::size_t end,
+                                       std::size_t split_col,
+                                       double threshold) {
+  LTS_ASSERT(split_col < cols_ && begin < end && end <= n_);
+  // Mark each dataset row's side once, off the split column's own values
+  // (bitwise the same doubles a matrix lookup would see). Duplicate
+  // occurrences of a row share the mark by construction. The left count
+  // doubles as the boundary: x is the split column's primary sort key, so
+  // its own segment is already partitioned — the left side is exactly the
+  // prefix — and it never needs to move.
+  std::size_t mid = begin;
+  {
+    const double* xs = x_col(split_col);
+    const std::uint32_t* rs = row_col(split_col);
+    for (std::size_t k = begin; k < end; ++k) {
+      const bool left = xs[k] <= threshold;
+      goes_left_[rs[k]] = left ? 1 : 0;
+      mid += left ? 1 : 0;
+    }
+  }
+
+  // Stable two-way partition of every other column's segment: left side
+  // compacts forward in place (the write cursor never passes the read
+  // cursor), the right side stages in persistent scratch and copies back
+  // behind it.
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (c == split_col) continue;  // already the sorted left prefix
+    double* cx = x_.data() + c * n_;
+    std::uint32_t* cr = row_.data() + c * n_;
+    std::size_t l = begin;
+    std::size_t t = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (goes_left_[cr[k]]) {
+        cx[l] = cx[k];
+        cr[l] = cr[k];
+        ++l;
+      } else {
+        tmp_x_[t] = cx[k];
+        tmp_row_[t] = cr[k];
+        ++t;
+      }
+    }
+    std::copy(tmp_x_.begin(),
+              tmp_x_.begin() + static_cast<std::ptrdiff_t>(t), cx + l);
+    std::copy(tmp_row_.begin(),
+              tmp_row_.begin() + static_cast<std::ptrdiff_t>(t), cr + l);
+    LTS_ASSERT(l == mid);  // every column holds the same row multiset
+  }
+  return mid;
+}
+
+}  // namespace lts::ml

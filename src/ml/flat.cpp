@@ -15,6 +15,17 @@ void FlatEnsemble::clear() {
 
 void FlatEnsemble::predict(const double* x, std::size_t rows,
                            std::size_t cols, double* out) const {
+  walk_block<true>(x, rows, cols, out);
+}
+
+void FlatEnsemble::accumulate(const double* x, std::size_t rows,
+                              std::size_t cols, double* inout) const {
+  walk_block<false>(x, rows, cols, inout);
+}
+
+template <bool kSeed>
+void FlatEnsemble::walk_block(const double* x, std::size_t rows,
+                              std::size_t cols, double* out) const {
   // Row blocking keeps a batch of rows cache-resident while trees stream
   // past them; per row, trees still accumulate in tree order (the loop over
   // trees is outside the accumulation into out[r]), so the sum order — and
@@ -27,7 +38,7 @@ void FlatEnsemble::predict(const double* x, std::size_t rows,
   for (std::size_t r0 = 0; r0 < rows; r0 += kBlock) {
     const std::size_t bn = std::min(kBlock, rows - r0);
     for (std::size_t i = 0; i < bn; ++i) {
-      out[r0 + i] = init_;
+      if constexpr (kSeed) out[r0 + i] = init_;
       xrow[i] = x + (r0 + i) * cols;
     }
     for (std::size_t t = 0; t < n_trees; ++t) {
@@ -83,7 +94,9 @@ void FlatEnsemble::predict(const double* x, std::size_t rows,
     }
     // Division by the default 1.0 is exact, so the non-forest cases pay no
     // precision (or equivalence) cost for the unconditional divide.
-    for (std::size_t i = 0; i < bn; ++i) out[r0 + i] /= divisor_;
+    if constexpr (kSeed) {
+      for (std::size_t i = 0; i < bn; ++i) out[r0 + i] /= divisor_;
+    }
   }
 }
 

@@ -116,7 +116,22 @@ class FlatEnsemble {
   void predict(const double* x, std::size_t rows, std::size_t cols,
                double* out) const;
 
+  /// Batched accumulate: inout[r] += leaf value of every tree, in tree
+  /// order — predict() without the init seed and the divisor, for callers
+  /// folding this ensemble into a running total (the GBT's per-round
+  /// prediction update). The per-row addition order is exactly
+  /// `inout[r] += tree0; inout[r] += tree1; ...`, so the result is
+  /// bit-identical to the scalar walk it replaces.
+  void accumulate(const double* x, std::size_t rows, std::size_t cols,
+                  double* inout) const;
+
  private:
+  /// Shared batched walker behind predict/accumulate: seeds each row's
+  /// output from init_ and divides by divisor_ only when kSeed.
+  template <bool kSeed>
+  void walk_block(const double* x, std::size_t rows, std::size_t cols,
+                  double* out) const;
+
   std::vector<FlatNode> nodes_;       // all trees, concatenated
   std::vector<double> value_;         // leaf payloads, parallel to nodes_
   std::vector<std::int32_t> tree_base_;  // per-tree offset into nodes_

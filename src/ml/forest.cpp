@@ -60,12 +60,23 @@ RandomForestRegressor::grow_trees(
   std::vector<std::unique_ptr<DecisionTreeRegressor>> grown(count);
   if (bags != nullptr) bags->assign(count, {});
 
+  // Sort the window's feature columns once and share the result across
+  // every bag: each tree streams its bootstrap columns out of this presort
+  // by multiplicity instead of re-sorting, so the O(n log n) per column is
+  // paid once per window rather than once per tree.
+  SortedColumns presorted;
+  {
+    std::vector<std::size_t> all_rows(n);
+    std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+    presorted.build_by_value_target(data.x(), data.y(), all_rows);
+  }
+
   // Each tree gets an independent Rng derived from (seed, salt, tree
   // index), so training is deterministic regardless of thread
   // interleaving. salt=0 is the initial fit; refits advance it so new
   // windows grow different trees.
   ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
-  // lts-lint: shared-guarded(partitioned: tree b writes only grown[b] and (*bags)[b]; data/params are read-only)
+  // lts-lint: shared-guarded(partitioned: tree b writes only grown[b] and (*bags)[b]; data/params/presorted are read-only)
   pool.parallel_for(count, [&](std::size_t b) {
     Rng rng((params_.seed + salt) * 0x9e3779b97f4a7c15ULL + b * 2 + 1);
     std::vector<std::size_t> rows;
@@ -80,7 +91,7 @@ RandomForestRegressor::grow_trees(
       std::iota(rows.begin(), rows.end(), std::size_t{0});
     }
     auto tree = std::make_unique<DecisionTreeRegressor>(tree_params);
-    tree->fit_on(data, rows, rng);
+    tree->fit_on(data, rows, rng, &presorted);
     grown[b] = std::move(tree);
     if (bags != nullptr) (*bags)[b] = std::move(rows);
   });

@@ -6,6 +6,7 @@
 
 #include "ml/metrics.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lts::ml {
 
@@ -68,9 +69,11 @@ struct GradientBoostedTrees::TreeBuildContext {
   const Dataset* data = nullptr;
   const std::vector<double>* grad = nullptr;
   const std::vector<double>* hess = nullptr;
-  std::vector<std::size_t> feature_pool;  // columns usable this round
+  std::span<const std::size_t> feature_pool;  // columns usable this round
   const GbtParams* params = nullptr;
   std::vector<double>* importance = nullptr;
+  SortedColumns* cols = nullptr;  // this round's presorted columns
+  std::vector<GbtSplit>* feature_best = nullptr;  // per-column result slots
 };
 
 int GradientBoostedTrees::build_node(TreeBuildContext& ctx,
@@ -95,24 +98,25 @@ int GradientBoostedTrees::build_node(TreeBuildContext& ctx,
 
   if (depth >= ctx.params->max_depth || end - begin < 2) return node_index;
 
-  // Exact greedy split search over the round's feature pool.
-  double best_gain = 0.0;
-  int best_feature = -1;
-  double best_threshold = 0.0;
+  // Exact greedy split search over the round's feature pool. Each pool
+  // column sweeps its presorted slice [begin, end) — the (x, row) sequence
+  // the per-node gather + std::sort used to produce (colindex.hpp), so the
+  // g/h prefixes accumulate in the same order and every gain and threshold
+  // is bit-identical. Columns touch only their own result slot, which makes
+  // the fan-out below both safe and deterministic.
+  const std::size_t n = end - begin;
   const double parent_term = g_total * g_total / (h_total + lambda);
-  std::vector<std::pair<double, std::size_t>> vals;  // (x, row)
-  vals.reserve(end - begin);
-  for (const std::size_t f : ctx.feature_pool) {
-    vals.clear();
-    for (std::size_t i = begin; i < end; ++i) {
-      vals.emplace_back(ctx.data->x()(rows[i], f), rows[i]);
-    }
-    std::sort(vals.begin(), vals.end());
+  std::vector<GbtSplit>& slots = *ctx.feature_best;
+  slots.assign(ctx.cols->num_cols(), GbtSplit{});
+  const auto scan_one = [&](std::size_t c) {
+    const double* xs = ctx.cols->x_col(c) + begin;
+    const std::uint32_t* rs = ctx.cols->row_col(c) + begin;
+    GbtSplit cand;
     double g_left = 0.0, h_left = 0.0;
-    for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
-      g_left += grad[vals[i].second];
-      h_left += hess[vals[i].second];
-      if (vals[i].first == vals[i + 1].first) continue;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      g_left += grad[rs[i]];
+      h_left += hess[rs[i]];
+      if (xs[i] == xs[i + 1]) continue;
       const double h_right = h_total - h_left;
       if (h_left < ctx.params->min_child_weight ||
           h_right < ctx.params->min_child_weight) {
@@ -123,31 +127,60 @@ int GradientBoostedTrees::build_node(TreeBuildContext& ctx,
           0.5 * (g_left * g_left / (h_left + lambda) +
                  g_right * g_right / (h_right + lambda) - parent_term) -
           ctx.params->gamma;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = static_cast<int>(f);
-        best_threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+      if (gain > cand.gain) {
+        cand.gain = gain;
+        cand.feature = static_cast<int>(ctx.feature_pool[c]);
+        cand.column = static_cast<int>(c);
+        // The midpoint of two adjacent doubles can round up onto the right
+        // value; `x <= threshold` would then send every row left and the
+        // partition assert below would fire. Snap to the left value, which
+        // always separates (it is strictly below xs[i + 1]).
+        double threshold = (xs[i] + xs[i + 1]) / 2.0;
+        if (threshold >= xs[i + 1]) threshold = xs[i];
+        cand.threshold = threshold;
       }
     }
+    slots[c] = cand;
+  };
+  if (use_parallel_columns(n, ctx.cols->num_cols())) {
+    // lts-lint: shared-guarded(partitioned: column c writes only feature_best[c]; columns and grad/hess are read-only)
+    ThreadPool::global().parallel_for(ctx.cols->num_cols(),
+                                      [&](std::size_t c) { scan_one(c); });
+  } else {
+    for (std::size_t c = 0; c < ctx.cols->num_cols(); ++c) scan_one(c);
   }
-  if (best_feature < 0) return node_index;
 
-  (*ctx.importance)[static_cast<std::size_t>(best_feature)] += best_gain;
+  // Reduce the per-column slots in pool order under the same strict `>`
+  // the sequential loop applied: the earliest column attaining the maximal
+  // gain wins in both formulations.
+  GbtSplit best;
+  for (const GbtSplit& cand : slots) {
+    if (cand.gain > best.gain) best = cand;
+  }
+  if (best.feature < 0) return node_index;
+
+  (*ctx.importance)[static_cast<std::size_t>(best.feature)] += best.gain;
+
+  // Carry the sorted columns through the split first: repartition marks
+  // every row's side off the split column's own values — bitwise the
+  // doubles a matrix lookup would return — and the row partition below
+  // reuses those marks instead of re-gathering from the matrix.
+  const std::size_t col_mid = ctx.cols->repartition(
+      begin, end, static_cast<std::size_t>(best.column), best.threshold);
 
   const auto mid_it = std::partition(
       rows.begin() + static_cast<std::ptrdiff_t>(begin),
-      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
-        return ctx.data->x()(r, static_cast<std::size_t>(best_feature)) <=
-               best_threshold;
-      });
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) { return ctx.cols->went_left(r); });
   const std::size_t mid = static_cast<std::size_t>(mid_it - rows.begin());
   LTS_ASSERT(mid > begin && mid < end);
+  LTS_ASSERT(col_mid == mid);
 
   const int left = build_node(ctx, rows, begin, mid, depth + 1, tree);
   const int right = build_node(ctx, rows, mid, end, depth + 1, tree);
   auto& node = tree[static_cast<std::size_t>(node_index)];
-  node.feature = best_feature;
-  node.threshold = best_threshold;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
   node.left = left;
   node.right = right;
   return node_index;
@@ -179,21 +212,25 @@ void GradientBoostedTrees::fit(const Dataset& data) {
   }
 
   base_score_ = mean(data.y());
-  std::vector<double> pred(data.size(), base_score_);
-  std::vector<double> grad(data.size(), 0.0);
-  std::vector<double> hess(data.size(), 1.0);
+  // Scratch-backed training state (capacity retained across fits) plus the
+  // dataset-wide presorted columns every round's subsample filters from.
+  FitScratch& s = scratch_;
+  s.dataset_cols.build_by_value_row(data.x());
+  s.pred.assign(data.size(), base_score_);
+  s.grad.assign(data.size(), 0.0);
+  s.hess.assign(data.size(), 1.0);
 
   double best_rmse = std::numeric_limits<double>::infinity();
   int rounds_since_best = 0;
   std::size_t best_n_trees = 0;
 
   for (int round = 0; round < params_.n_rounds; ++round) {
-    boost_one_round(data, train_rows, pred, grad, hess, rng);
+    boost_one_round(data, train_rows, s.pred, s.grad, s.hess, rng);
 
     if (!val_rows.empty()) {
       double acc = 0.0;
       for (const std::size_t i : val_rows) {
-        const double d = pred[i] - data.target(i);
+        const double d = s.pred[i] - data.target(i);
         acc += d * d;
       }
       const double val_rmse =
@@ -222,15 +259,18 @@ void GradientBoostedTrees::boost_one_round(
   for (const std::size_t i : train_rows) {
     grad[i] = pred[i] - data.target(i);  // d/dp 1/2 (p - y)^2
   }
-  // Row subsample for this round.
-  std::vector<std::size_t> rows;
+  // Row subsample for this round (scratch-backed, capacity retained).
+  FitScratch& s = scratch_;
+  std::vector<std::size_t>& rows = s.rows;
+  rows.clear();
+  rows.reserve(train_rows.size());
   if (params_.subsample < 1.0) {
     for (const std::size_t i : train_rows) {
       if (rng.uniform() < params_.subsample) rows.push_back(i);
     }
-    if (rows.size() < 2) rows = train_rows;
+    if (rows.size() < 2) rows.assign(train_rows.begin(), train_rows.end());
   } else {
-    rows = train_rows;
+    rows.assign(train_rows.begin(), train_rows.end());
   }
   // Column subsample.
   TreeBuildContext ctx;
@@ -242,18 +282,37 @@ void GradientBoostedTrees::boost_one_round(
   if (params_.colsample < 1.0) {
     const auto k = static_cast<std::size_t>(std::max(
         1.0, params_.colsample * static_cast<double>(num_features_)));
-    ctx.feature_pool = rng.sample_without_replacement(num_features_, k);
+    rng.sample_without_replacement(num_features_, k, s.feature_pool);
   } else {
-    ctx.feature_pool.resize(num_features_);
-    std::iota(ctx.feature_pool.begin(), ctx.feature_pool.end(),
-              std::size_t{0});
+    s.feature_pool.resize(num_features_);
+    std::iota(s.feature_pool.begin(), s.feature_pool.end(), std::size_t{0});
   }
+  ctx.feature_pool = s.feature_pool;
+
+  // Carve this round's presorted columns out of the dataset-wide index:
+  // mark the sampled rows, then filter each pooled feature's column. A
+  // subsequence of a sorted column is sorted by the same key, so the slice
+  // matches a fresh gather + sort bit for bit.
+  s.sampled.assign(data.size(), 0);
+  for (const std::size_t r : rows) s.sampled[r] = 1;
+  s.round_cols.assign_filtered(s.dataset_cols, s.sampled, rows.size(),
+                               s.feature_pool);
+  ctx.cols = &s.round_cols;
+  ctx.feature_best = &s.feature_best;
 
   std::vector<GbtNode> tree;
   build_node(ctx, rows, 0, rows.size(), 0, tree);
-  // Update all predictions (train + validation) with the new tree.
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    pred[i] += tree_predict(tree, data.row(i));
+  // Update all predictions (train + validation) with the new tree — one
+  // batched flat traversal whose per-row addition is exactly the scalar
+  // `pred[i] += tree_predict(...)` it replaces.
+  s.round_flat.clear();
+  if (s.round_flat.try_add_tree(std::span<const GbtNode>(tree))) {
+    s.round_flat.accumulate(data.x().data().data(), data.size(),
+                            num_features_, pred.data());
+  } else {  // oversized tree: fall back to the scalar walk
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      pred[i] += tree_predict(tree, data.row(i));
+    }
   }
   trees_.push_back(std::move(tree));
 }
@@ -273,13 +332,18 @@ void GradientBoostedTrees::refit(const Dataset& data) {
   Rng rng(params_.seed + 0x5bd1e995ULL * (trees_.size() + 1));
   std::vector<std::size_t> train_rows(data.size());
   std::iota(train_rows.begin(), train_rows.end(), std::size_t{0});
-  std::vector<double> pred = predict(data.x());
-  std::vector<double> grad(data.size(), 0.0);
-  std::vector<double> hess(data.size(), 1.0);
+  // Seed predictions from the current ensemble (same batched kernel
+  // Regressor::predict rides) into the reusable scratch buffer.
+  FitScratch& s = scratch_;
+  s.dataset_cols.build_by_value_row(data.x());
+  s.pred.assign(data.size(), 0.0);
+  predict_batch(data.x().data(), data.size(), num_features_, s.pred);
+  s.grad.assign(data.size(), 0.0);
+  s.hess.assign(data.size(), 1.0);
 
   const int extra = std::max(1, params_.n_rounds / 4);
   for (int round = 0; round < extra; ++round) {
-    boost_one_round(data, train_rows, pred, grad, hess, rng);
+    boost_one_round(data, train_rows, s.pred, s.grad, s.hess, rng);
   }
   best_val_rmse_ = std::numeric_limits<double>::quiet_NaN();
   rebuild_flat();

@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "ml/colindex.hpp"
 #include "ml/flat.hpp"
 #include "ml/model.hpp"
 #include "util/rng.hpp"
@@ -82,6 +83,31 @@ class GradientBoostedTrees : public Regressor {
  private:
   struct TreeBuildContext;
 
+  /// Per-candidate-column split scan result (dataset feature id, not pool
+  /// position; `column` is the round-column index for repartitioning).
+  struct GbtSplit {
+    int feature = -1;
+    int column = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  // Reusable training scratch, retained across rounds and refits (lint
+  // rule R8): the dataset-wide presorted columns, the per-round filtered
+  // columns, and every per-round vector that used to be allocated fresh.
+  struct FitScratch {
+    SortedColumns dataset_cols;  // all rows x all features, by (value, row)
+    SortedColumns round_cols;    // this round's rows x pooled features
+    std::vector<unsigned char> sampled;  // dataset-row mask for the round
+    std::vector<std::size_t> rows;
+    std::vector<std::size_t> feature_pool;
+    std::vector<GbtSplit> feature_best;  // per-column scan slots
+    std::vector<double> pred;
+    std::vector<double> grad;
+    std::vector<double> hess;
+    FlatEnsemble round_flat;  // single-tree batched prediction update
+  };
+
   int build_node(TreeBuildContext& ctx, std::vector<std::size_t>& rows,
                  std::size_t begin, std::size_t end, int depth,
                  std::vector<GbtNode>& tree);
@@ -106,6 +132,7 @@ class GradientBoostedTrees : public Regressor {
   FlatEnsemble flat_;  // SoA mirror of trees_ for batched prediction
   std::vector<double> importance_;  // raw gain per feature
   double best_val_rmse_ = std::numeric_limits<double>::quiet_NaN();
+  FitScratch scratch_;
 };
 
 }  // namespace lts::ml

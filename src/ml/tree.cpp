@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace lts::ml {
 
 TreeParams TreeParams::from_json(const Json& j) {
@@ -53,13 +55,29 @@ void DecisionTreeRegressor::fit(const Dataset& data) {
 
 void DecisionTreeRegressor::fit_on(const Dataset& data,
                                    std::span<const std::size_t> rows,
-                                   Rng& rng) {
+                                   Rng& rng,
+                                   const SortedColumns* presorted) {
   LTS_REQUIRE(!rows.empty(), "DecisionTree: empty training set");
   num_features_ = data.num_features();
   nodes_.clear();
   importance_.assign(num_features_, 0.0);
   std::vector<std::size_t> working(rows.begin(), rows.end());
   SplitScratch scratch;
+  // Sort every feature column once; build() then keeps each column's
+  // segment aligned with the row partition, so no node ever re-sorts.
+  // With a window-level presort on hand (forest fits share one across all
+  // bags), even that sort disappears: the bag's columns stream out of the
+  // presorted order by multiplicity, and duplicates of a row are fully
+  // tied so the result is byte-for-byte the sorted bag.
+  if (presorted != nullptr && presorted->size() == data.size() &&
+      presorted->num_cols() == num_features_) {
+    scratch.mult.assign(data.size(), 0);
+    for (const std::size_t r : working) ++scratch.mult[r];
+    scratch.columns.assign_bootstrap(*presorted, scratch.mult,
+                                     working.size());
+  } else {
+    scratch.columns.build_by_value_target(data.x(), data.y(), working);
+  }
   build(data, working, 0, working.size(), 0, rng, scratch);
   rebuild_flat();
 }
@@ -95,22 +113,28 @@ int DecisionTreeRegressor::build(const Dataset& data,
       n >= 2 * static_cast<std::size_t>(params_.min_samples_leaf);
   if (!can_split) return node_index;
 
-  const auto split =
-      best_split(data, std::span<const std::size_t>(
-                           rows.data() + begin, n), rng, scratch);
+  const auto split = best_split(
+      data, std::span<const std::size_t>(rows.data() + begin, n), begin, end,
+      sum, rng, scratch);
   if (!split.has_value()) return node_index;
+
+  // Carry the sorted columns through the split first: repartition marks
+  // every occurrence's side off the split column's own values — bitwise
+  // the doubles a matrix lookup would return — and the row partition below
+  // reuses those marks instead of re-gathering from the matrix.
+  const std::size_t col_mid = scratch.columns.repartition(
+      begin, end, static_cast<std::size_t>(split->feature),
+      split->threshold);
 
   // Partition rows in place around the threshold.
   const auto mid_it = std::partition(
       rows.begin() + static_cast<std::ptrdiff_t>(begin),
       rows.begin() + static_cast<std::ptrdiff_t>(end),
-      [&](std::size_t r) {
-        return data.x()(r, static_cast<std::size_t>(split->feature)) <=
-               split->threshold;
-      });
+      [&](std::size_t r) { return scratch.columns.went_left(r); });
   const std::size_t mid =
       static_cast<std::size_t>(mid_it - rows.begin());
   LTS_ASSERT(mid > begin && mid < end);
+  LTS_ASSERT(col_mid == mid);
 
   importance_[static_cast<std::size_t>(split->feature)] += split->gain;
 
@@ -126,13 +150,17 @@ int DecisionTreeRegressor::build(const Dataset& data,
 
 std::optional<DecisionTreeRegressor::Split>
 DecisionTreeRegressor::best_split(const Dataset& data,
-                                  std::span<const std::size_t> rows, Rng& rng,
+                                  std::span<const std::size_t> rows,
+                                  std::size_t begin, std::size_t end,
+                                  double sum, Rng& rng,
                                   SplitScratch& scratch) const {
   const std::size_t n = rows.size();
-  double sum = 0.0, sumsq = 0.0;
+  LTS_ASSERT(end - begin == n);
+  // `sum` arrives from build(), accumulated over the same rows in the same
+  // order — the identical double this loop used to recompute.
+  double sumsq = 0.0;
   for (const std::size_t r : rows) {
     const double y = data.target(r);
-    sum += y;
     sumsq += y * y;
   }
   const double parent_sse = sumsq - sum * sum / static_cast<double>(n);
@@ -151,21 +179,24 @@ DecisionTreeRegressor::best_split(const Dataset& data,
     std::iota(features.begin(), features.end(), std::size_t{0});
   }
 
-  Split best;
-  std::vector<std::pair<double, double>>& vals = scratch.vals;
-  vals.reserve(n);
   const auto min_leaf = static_cast<std::size_t>(params_.min_samples_leaf);
-  for (const std::size_t f : features) {
-    vals.clear();
-    for (const std::size_t r : rows) {
-      vals.emplace_back(data.x()(r, f), data.target(r));
-    }
-    std::sort(vals.begin(), vals.end());
+  scratch.feature_best.assign(features.size(), Split{});
+  // Each candidate feature sweeps its own presorted slice [begin, end) —
+  // the exact (x, y) sequence the per-node gather + std::sort used to
+  // produce (colindex.hpp carries the argument) — so left_sum accumulates
+  // in the same order and every gain and threshold is bit-identical.
+  // Features touch only their own result slot, which makes the fan-out
+  // below both safe and deterministic.
+  const auto scan_one = [&](std::size_t fi) {
+    const std::size_t f = features[fi];
+    const double* xs = scratch.columns.x_col(f) + begin;
+    const std::uint32_t* rs = scratch.columns.row_col(f) + begin;
+    Split cand;
     double left_sum = 0.0;
     for (std::size_t i = 0; i + 1 < n; ++i) {
-      left_sum += vals[i].second;
+      left_sum += data.target(rs[i]);
       if (i + 1 < min_leaf || n - i - 1 < min_leaf) continue;
-      if (vals[i].first == vals[i + 1].first) continue;  // no boundary here
+      if (xs[i] == xs[i + 1]) continue;  // no boundary here
       const double nl = static_cast<double>(i + 1);
       const double nr = static_cast<double>(n - i - 1);
       const double right_sum = sum - left_sum;
@@ -174,18 +205,34 @@ DecisionTreeRegressor::best_split(const Dataset& data,
       const double gain = left_sum * left_sum / nl +
                           right_sum * right_sum / nr -
                           sum * sum / static_cast<double>(n);
-      if (gain > best.gain) {
-        best.feature = static_cast<int>(f);
+      if (gain > cand.gain) {
+        cand.feature = static_cast<int>(f);
         // The midpoint of two adjacent doubles can round up onto the right
         // value; `x <= threshold` would then send both sides left and the
         // split would partition nothing. Snap to the left value, which
-        // always separates (it is strictly below vals[i + 1]).
-        double threshold = (vals[i].first + vals[i + 1].first) / 2.0;
-        if (threshold >= vals[i + 1].first) threshold = vals[i].first;
-        best.threshold = threshold;
-        best.gain = gain;
+        // always separates (it is strictly below xs[i + 1]).
+        double threshold = (xs[i] + xs[i + 1]) / 2.0;
+        if (threshold >= xs[i + 1]) threshold = xs[i];
+        cand.threshold = threshold;
+        cand.gain = gain;
       }
     }
+    scratch.feature_best[fi] = cand;
+  };
+  if (use_parallel_columns(n, features.size())) {
+    // lts-lint: shared-guarded(partitioned: feature fi writes only feature_best[fi]; columns and targets are read-only)
+    ThreadPool::global().parallel_for(features.size(),
+                                      [&](std::size_t fi) { scan_one(fi); });
+  } else {
+    for (std::size_t fi = 0; fi < features.size(); ++fi) scan_one(fi);
+  }
+
+  // Reduce the per-feature slots in feature order under the same strict `>`
+  // the sequential loop applied: the earliest feature attaining the maximal
+  // gain wins in both formulations.
+  Split best;
+  for (const Split& cand : scratch.feature_best) {
+    if (cand.gain > best.gain) best = cand;
   }
   if (best.feature < 0 || best.gain < params_.min_impurity_decrease ||
       best.gain <= 1e-12) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "ml/colindex.hpp"
 #include "ml/flat.hpp"
 #include "ml/model.hpp"
 #include "util/rng.hpp"
@@ -45,8 +46,11 @@ class DecisionTreeRegressor : public Regressor {
 
   /// Fits on a row subset (duplicates allowed — bootstrap bags). `rng`
   /// drives per-split feature subsampling when params.max_features > 0.
+  /// `presorted`, when given, must index every row of `data` once (the
+  /// forest builds it one time per window); the tree then stamps out its
+  /// bag's columns by multiplicity streaming instead of re-sorting.
   void fit_on(const Dataset& data, std::span<const std::size_t> rows,
-              Rng& rng);
+              Rng& rng, const SortedColumns* presorted = nullptr);
 
   double predict_row(std::span<const double> features) const override;
   void predict_batch(std::span<const double> x, std::size_t rows,
@@ -68,12 +72,15 @@ class DecisionTreeRegressor : public Regressor {
     double gain = 0.0;  // SSE decrease
   };
 
-  // Reusable per-fit buffers: best_split runs once per tree node, and the
-  // candidate-feature list + sorted (x, y) column would otherwise be
-  // allocated fresh at every node.
+  // Reusable per-fit training state: the per-feature sorted column indexes
+  // (built once in fit_on, repartitioned down the recursion), the
+  // candidate-feature list, and the per-feature scan result slots. Nothing
+  // here is allocated per node.
   struct SplitScratch {
     std::vector<std::size_t> features;
-    std::vector<std::pair<double, double>> vals;  // (x, y)
+    std::vector<Split> feature_best;  // one slot per candidate feature
+    std::vector<std::uint32_t> mult;  // bag multiplicity per dataset row
+    SortedColumns columns;
   };
 
   int build(const Dataset& data, std::vector<std::size_t>& rows,
@@ -82,8 +89,16 @@ class DecisionTreeRegressor : public Regressor {
   /// Regenerates flat_ from nodes_; called wherever nodes_ changes
   /// (fit_on, from_json). flat_ is derived state, never serialized.
   void rebuild_flat();
+  /// Exact greedy split search over scratch.columns segment [begin, end)
+  /// (the same index range `rows` spans in the row array). `sum` is the
+  /// node's target total, already accumulated in row order by build().
+  /// Candidate features scan independently — in parallel on the global
+  /// pool for wide nodes — and reduce in feature order, reproducing the
+  /// sequential strict-`>` selection bit for bit.
   std::optional<Split> best_split(const Dataset& data,
-                                  std::span<const std::size_t> rows, Rng& rng,
+                                  std::span<const std::size_t> rows,
+                                  std::size_t begin, std::size_t end,
+                                  double sum, Rng& rng,
                                   SplitScratch& scratch) const;
 
   TreeParams params_;

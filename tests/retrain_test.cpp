@@ -14,6 +14,7 @@
 #include "exp/scenario.hpp"
 #include "exp/stream.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace lts {
@@ -223,6 +224,48 @@ TEST(OnlineTrainer, HoldoutGateRejectsWeakCandidate) {
   ASSERT_TRUE(event.has_value());
   EXPECT_EQ(event->outcome, core::RetrainOutcome::kSwapped);
   EXPECT_EQ(ungated.model_version(), 1u);
+}
+
+TEST(OnlineTrainer, RetrainMetricsObserveDurationAndThroughput) {
+  // Every attempt that reaches training — swapped and failed alike — must
+  // land one observation in lts_retrain_duration_seconds, and successful
+  // timing must publish a positive lts_train_rows_per_second.
+  auto& registry = obs::MetricsRegistry::global();
+  // Same boundaries as OnlineTrainer's registration: whichever side
+  // registers first fixes them, and they must agree.
+  auto& duration = obs::histogram(
+      "lts_retrain_duration_seconds",
+      {0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0});
+  auto& rate = obs::gauge("lts_train_rows_per_second");
+  registry.set_enabled(true);
+  const auto count_before = duration.count();
+
+  const auto initial = train_initial_linear(80, 91);
+  core::OnlineTrainer trainer(base_options(), core::FeatureSet::kTable1,
+                              initial);
+  Rng rng(92);
+  std::optional<core::RetrainEvent> event;
+  for (int i = 0; i < 10; ++i) {
+    const auto record = synth_record(rng);
+    event = trainer.on_completion(record, record.duration);
+  }
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->outcome, core::RetrainOutcome::kSwapped);
+  EXPECT_EQ(duration.count(), count_before + 1);
+  EXPECT_GT(rate.value(), 0.0);
+
+  // The injected failure hook fires before training starts, so — like a
+  // too-small-window skip — it must NOT land an observation: the histogram
+  // only measures attempts that actually paid for training.
+  trainer.set_failure_hook([] { return true; });
+  for (int i = 0; i < 10; ++i) {
+    const auto record = synth_record(rng);
+    event = trainer.on_completion(record, record.duration);
+  }
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->outcome, core::RetrainOutcome::kFailed);
+  EXPECT_EQ(duration.count(), count_before + 1);
+  registry.set_enabled(false);
 }
 
 // ---------------------------------------------------------------- stream ----

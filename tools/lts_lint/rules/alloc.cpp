@@ -24,7 +24,11 @@ bool is_hot(const FunctionDef& fd) {
       "fill_flows",       "hierarchical_fill",
       "predict_batch",    "schedule_many",
       "schedule_many_from_snapshot",
-      "schedule_batch"};
+      "schedule_batch",
+      // Training hot path: these run once per tree node (split search) or
+      // once per boosting round, inside the serve-time retraining loop.
+      "best_split",       "build_node",
+      "boost_one_round"};
   if (kHot.count(fd.name) > 0) return true;
   // Engine dispatch: the per-event loop of the simulator itself.
   return fd.class_name == "Engine" && (fd.name == "step" || fd.name == "run");
