@@ -1,0 +1,165 @@
+// Multi-tenant fairness experiment: does two-level DRF sharing actually
+// buy fairness over an unweighted FIFO queue on one shared cluster?
+//
+// Three tenants with deliberately clashing workloads share the paper's
+// 6-node testbed:
+//
+//   * batch — a best-effort bulk tenant arriving in tight bursts, sized to
+//     monopolize the cluster whenever it is allowed to;
+//   * svc   — a steady Poisson tenant with a guaranteed quota (its jobs may
+//     preempt over-quota best-effort work);
+//   * adhoc — a diurnal tenant (weight 2) whose demand peaks once per
+//     simulated "day".
+//
+// The identical pre-drawn tenant mix (same seeds, same jobs, same arrival
+// instants) runs under SharingMode::kFifo (offers follow global arrival
+// order — the burst wins) and SharingMode::kDrf (offers go to the tenant
+// with the lowest weighted dominant share; guaranteed-quota preemption
+// enabled). Reported per tenant: mean/P95 JCT, mean queueing delay,
+// placement deferrals, preemptions, and the dominant-share-time integral;
+// per mode: Jain's fairness index over those integrals.
+//
+// The run fails (nonzero exit) unless DRF's Jain index strictly exceeds
+// FIFO's — the fairness regression gate CI enforces.
+//
+// Output: human-readable tables, a JSON blob on stdout, and
+// BENCH_multitenant.json for the CI perf-artifact trail.
+#include <cstdio>
+#include <vector>
+
+#include "exp/benchio.hpp"
+#include "exp/scenario.hpp"
+#include "tenant/drf.hpp"
+#include "tenant/stream.hpp"
+#include "util/json.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lts;
+  const auto matrix = exp::paper_scenario_matrix();
+  constexpr Bytes kGiB = 1024.0 * 1024.0 * 1024.0;
+
+  tenant::TenantStreamsOptions base;
+  base.seed = 73000;
+  base.tenants.resize(3);
+
+  tenant::TenantStreamOptions& batch = base.tenants[0];
+  batch.spec.name = "batch";
+  batch.spec.weight = 1.0;  // no quota: pure best-effort
+  batch.policy = exp::StreamPolicy::kKubeDefault;
+  batch.num_jobs = 32;
+  batch.arrivals.process = tenant::ArrivalProcess::kBursty;
+  batch.arrivals.mean_interarrival = 6.0;
+  batch.arrivals.burst_size = 8;
+  batch.arrivals.burst_spacing = 0.5;
+
+  tenant::TenantStreamOptions& svc = base.tenants[1];
+  svc.spec.name = "svc";
+  svc.spec.weight = 1.0;
+  svc.spec.quota = {12.0, 16.0 * kGiB};  // guaranteed floor, may preempt
+  svc.policy = exp::StreamPolicy::kKubeDefault;
+  svc.num_jobs = 12;
+  svc.arrivals.process = tenant::ArrivalProcess::kExponential;
+  svc.arrivals.mean_interarrival = 30.0;
+
+  tenant::TenantStreamOptions& adhoc = base.tenants[2];
+  adhoc.spec.name = "adhoc";
+  adhoc.spec.weight = 2.0;  // entitled to twice the share
+  adhoc.policy = exp::StreamPolicy::kKubeDefault;
+  adhoc.num_jobs = 12;
+  adhoc.arrivals.process = tenant::ArrivalProcess::kDiurnal;
+  adhoc.arrivals.mean_interarrival = 25.0;
+  adhoc.arrivals.diurnal_amplitude = 0.8;
+  adhoc.arrivals.diurnal_period = 300.0;
+
+  exp::BenchReport report("multitenant");
+  report.note("cluster", "paper testbed: 3 sites x 2 nodes");
+  report.note("mix",
+              "batch 32 jobs bursty(8@0.5s, mean 6s) best-effort; "
+              "svc 12 jobs poisson(30s) quota 12c/16Gi; "
+              "adhoc 12 jobs diurnal(25s, A=0.8, P=300s) weight 2");
+  report.note("gate", "jain_share(drf) > jain_share(fifo)");
+
+  struct Mode {
+    const char* label;
+    tenant::SharingMode sharing;
+  };
+  const Mode modes[] = {
+      {"fifo", tenant::SharingMode::kFifo},
+      {"drf", tenant::SharingMode::kDrf},
+  };
+
+  Json results = Json::object();
+  double jain_fifo = 0.0;
+  double jain_drf = 0.0;
+  for (const auto& mode : modes) {
+    tenant::TenantStreamsOptions options = base;
+    options.sharing = mode.sharing;
+    const auto run = tenant::run_tenant_streams(matrix, options);
+    const auto summaries = tenant::summarize_tenants(run);
+
+    std::printf("=== %s sharing ===\n", mode.label);
+    AsciiTable table({"Tenant", "jobs", "mean JCT (s)", "P95 JCT (s)",
+                      "mean queue (s)", "retries", "preempted",
+                      "share integral"});
+    Json mode_json = Json::object();
+    for (const auto& s : summaries) {
+      table.add_row({s.tenant, std::to_string(s.jobs),
+                     strformat("%.1f", s.mean_jct),
+                     strformat("%.1f", s.p95_jct),
+                     strformat("%.1f", s.mean_queueing_delay),
+                     std::to_string(s.placement_retries),
+                     std::to_string(s.preemptions_suffered),
+                     strformat("%.1f", s.share_integral)});
+      Json t = Json::object();
+      t["jobs"] = static_cast<double>(s.jobs);
+      t["mean_jct_s"] = s.mean_jct;
+      t["p95_jct_s"] = s.p95_jct;
+      t["mean_queueing_delay_s"] = s.mean_queueing_delay;
+      t["p95_queueing_delay_s"] = s.p95_queueing_delay;
+      t["placement_retries"] = static_cast<double>(s.placement_retries);
+      t["preemptions_suffered"] =
+          static_cast<double>(s.preemptions_suffered);
+      t["share_integral"] = s.share_integral;
+      mode_json[s.tenant] = t;
+      const std::string row = std::string(mode.label) + "/" + s.tenant;
+      report.add(row, "mean_jct", s.mean_jct, "s");
+      report.add(row, "mean_queueing_delay", s.mean_queueing_delay, "s");
+      report.add(row, "preemptions_suffered",
+                 static_cast<double>(s.preemptions_suffered), "jobs");
+      report.add(row, "share_integral", s.share_integral, "share*s");
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("Jain(share integrals) = %.4f, preemptions = %d, "
+                "offer rounds = %d, horizon = %.0f s\n\n",
+                run.jain_share, run.total_preemptions, run.offer_rounds,
+                run.horizon);
+    mode_json["jain_share"] = run.jain_share;
+    mode_json["total_preemptions"] =
+        static_cast<double>(run.total_preemptions);
+    mode_json["horizon_s"] = run.horizon;
+    results[mode.label] = mode_json;
+    report.add(mode.label, "jain_share", run.jain_share, "index");
+    report.add(mode.label, "total_preemptions",
+               static_cast<double>(run.total_preemptions), "jobs");
+    if (mode.sharing == tenant::SharingMode::kFifo) {
+      jain_fifo = run.jain_share;
+    } else {
+      jain_drf = run.jain_share;
+    }
+  }
+
+  std::printf("JSON: %s\n", results.dump().c_str());
+  report.write("BENCH_multitenant.json");
+
+  if (!(jain_drf > jain_fifo)) {
+    std::fprintf(stderr,
+                 "FAIL: DRF Jain index %.4f is not above FIFO's %.4f — "
+                 "two-level sharing bought no fairness\n",
+                 jain_drf, jain_fifo);
+    return 1;
+  }
+  std::printf("PASS: DRF Jain %.4f > FIFO Jain %.4f\n", jain_drf, jain_fifo);
+  return 0;
+}

@@ -215,6 +215,9 @@ Json StreamSummary::to_json() const {
   j["p99_jct_s"] = p99_jct;
   j["makespan_s"] = makespan;
   j["jobs"] = static_cast<double>(jobs);
+  j["mean_queueing_delay_s"] = mean_queueing_delay;
+  j["p95_queueing_delay_s"] = p95_queueing_delay;
+  j["placement_retries"] = static_cast<double>(placement_retries);
   j["model_version"] = static_cast<double>(model_version);
   j["retrains"] = static_cast<double>(retrains);
   j["retrain_failures"] = static_cast<double>(retrain_failures);
@@ -226,14 +229,23 @@ Json StreamSummary::to_json() const {
 StreamSummary summarize_stream(const StreamResult& result) {
   StreamSummary summary;
   std::vector<double> durations;
+  std::vector<double> queueing;
   durations.reserve(result.jobs.size());
-  for (const auto& job : result.jobs) durations.push_back(job.duration);
+  queueing.reserve(result.jobs.size());
+  for (const auto& job : result.jobs) {
+    durations.push_back(job.duration);
+    queueing.push_back(job.queueing_delay);
+    summary.placement_retries +=
+        static_cast<std::size_t>(job.placement_retries);
+  }
   summary.jobs = durations.size();
   if (!durations.empty()) {
     summary.mean_jct = mean(durations);
     summary.p50_jct = percentile(durations, 50);
     summary.p95_jct = percentile(durations, 95);
     summary.p99_jct = percentile(durations, 99);
+    summary.mean_queueing_delay = mean(queueing);
+    summary.p95_queueing_delay = percentile(queueing, 95);
   }
   summary.makespan = result.makespan;
   summary.model_version = result.model_version;

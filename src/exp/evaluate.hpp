@@ -117,6 +117,12 @@ struct StreamSummary {
   double p99_jct = 0.0;
   double makespan = 0.0;
   std::size_t jobs = 0;
+  /// Placement queueing (actual submit minus planned arrival): the
+  /// capacity-wait component the fairness bench compares across tenants.
+  double mean_queueing_delay = 0.0;
+  double p95_queueing_delay = 0.0;
+  /// Total placement deferrals across the stream's jobs.
+  std::size_t placement_retries = 0;
   /// Retraining streams only (0 / empty otherwise).
   std::uint64_t model_version = 0;
   std::size_t retrains = 0;

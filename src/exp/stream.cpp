@@ -1,5 +1,6 @@
 #include "exp/stream.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "obs/metrics.hpp"
@@ -10,20 +11,38 @@
 
 namespace lts::exp {
 
-namespace {
-struct StreamMetrics {
-  obs::Counter& jobs = obs::counter(
-      "lts_stream_jobs_completed_total", {},
-      "Jobs completed by the live job-stream runner");
-  obs::Counter& retries = obs::counter(
-      "lts_stream_placement_retries_total", {},
-      "Placements deferred because the cluster could not fit the job");
-  static StreamMetrics& get() {
-    static StreamMetrics m;
-    return m;
+StreamCounters stream_counters(const std::string& tenant) {
+  obs::Labels labels;
+  if (!tenant.empty()) labels.emplace("tenant", tenant);
+  return StreamCounters{
+      obs::counter("lts_stream_jobs_completed_total", labels,
+                   "Jobs completed by the live job-stream runner"),
+      obs::counter(
+          "lts_stream_placement_retries_total", labels,
+          "Placements deferred because the cluster could not fit the job")};
+}
+
+std::string describe_rejections(const k8s::ScheduleResult& result) {
+  if (result.rejected.empty()) {
+    return "\n  (no per-node rejection reasons recorded)";
   }
-};
-}  // namespace
+  std::string out;
+  for (const auto& [node, reason] : result.rejected) {
+    out += "\n  " + node + ": " + reason;
+  }
+  return out;
+}
+
+std::string describe_job_config(const spark::JobConfig& config) {
+  constexpr double kMiB = 1024.0 * 1024.0;
+  return strformat(
+      "app=%s input_records=%lld executors=%d "
+      "executor=%.1fcores/%.0fMiB driver=%.1fcores/%.0fMiB",
+      spark::to_string(config.app),
+      static_cast<long long>(config.input_records), config.executors,
+      config.executor_cores, config.executor_memory / kMiB,
+      config.driver_cores, config.driver_memory / kMiB);
+}
 
 StreamResult run_job_stream(StreamPolicy policy,
                             std::shared_ptr<const ml::Regressor> model,
@@ -93,11 +112,19 @@ StreamResult run_job_stream(StreamPolicy policy,
 
   StreamResult result;
   result.jobs.resize(plan.size());
+  for (std::size_t j = 0; j < plan.size(); ++j) {
+    result.jobs[j].planned_arrival = plan[j].arrival;
+  }
   std::vector<std::unique_ptr<spark::SparkApp>> apps(plan.size());
   int remaining = options.num_jobs;
+  const StreamCounters metrics = stream_counters();
 
   // Placement may be infeasible while the cluster is backlogged; like real
-  // pending pods, the job retries a few seconds later.
+  // pending pods, the job retries a few seconds later — but only
+  // options.max_placement_retries times. A permanently-infeasible job
+  // (e.g. one whose pods can never fit any node) fails the stream loudly
+  // with the last attempt's per-node rejection reasons instead of spinning
+  // until the drain guard aborts the whole run with no explanation.
   constexpr SimTime kRetryDelay = 5.0;
   auto try_place = std::make_shared<std::function<void(std::size_t)>>();
   // The stored lambda must not capture try_place strongly — that's a
@@ -109,8 +136,21 @@ StreamResult run_job_stream(StreamPolicy policy,
     const spark::JobConfig& config = planned.scenario->config;
     const std::string job_name =
         strformat("stream-%zu-%.0f", j, env.engine().now());
-    auto retry = [&, weak, j] {
-      StreamMetrics::get().retries.inc();
+    auto retry = [&, weak, j,
+                  job_name](const k8s::ScheduleResult& last_attempt) {
+      StreamJobResult& job = result.jobs[j];
+      ++job.placement_retries;
+      metrics.placement_retries.inc();
+      if (job.placement_retries > options.max_placement_retries) {
+        throw Error(strformat(
+                        "run_job_stream: job %zu (%s, \"%s\") still "
+                        "unplaceable after %d retries [%s]; per-node "
+                        "rejections of the last attempt:",
+                        j, plan[j].scenario->id.c_str(), job_name.c_str(),
+                        options.max_placement_retries,
+                        describe_job_config(config).c_str()) +
+                    describe_rejections(last_attempt));
+      }
       env.engine().schedule_in(kRetryDelay, [weak, j] {
         if (const auto fn = weak.lock()) (*fn)(j);
       });
@@ -162,7 +202,7 @@ StreamResult run_job_stream(StreamPolicy policy,
       case StreamPolicy::kKubeDefault: {
         const auto ranking = env.kube_ranking(config);
         if (!ranking.feasible()) {
-          retry();
+          retry(ranking);
           return;
         }
         driver_node = env.cluster().node_index(ranking.selected());
@@ -180,7 +220,7 @@ StreamResult run_job_stream(StreamPolicy policy,
     auto bound = std::make_shared<std::vector<std::string>>();
     const auto driver_fit = env.kube_scheduler().schedule(driver_pod);
     if (!driver_fit.feasible()) {
-      retry();
+      retry(driver_fit);
       return;
     }
     env.api().bind(driver_pod, env.node_names()[driver_node]);
@@ -191,7 +231,7 @@ StreamResult run_job_stream(StreamPolicy policy,
       const auto where = env.kube_scheduler().schedule(pod);
       if (!where.feasible()) {
         for (const auto& name : *bound) env.api().remove_pod(name);
-        retry();
+        retry(where);
         return;
       }
       env.api().bind(pod, where.selected());
@@ -211,9 +251,11 @@ StreamResult run_job_stream(StreamPolicy policy,
       result.jobs[j].scenario_id = plan[j].scenario->id;
       result.jobs[j].driver_node = app_result.driver_node;
       result.jobs[j].submitted = app_result.submit_time;
+      result.jobs[j].queueing_delay =
+          app_result.submit_time - result.jobs[j].planned_arrival;
       result.jobs[j].duration = app_result.duration();
       for (const auto& pod : *bound) env.api().remove_pod(pod);
-      StreamMetrics::get().jobs.inc();
+      metrics.jobs_completed.inc();
       if (retrainer && feedback[j].valid) {
         PendingFeedback& fb = feedback[j];
         fb.record.duration = app_result.duration();
@@ -240,9 +282,14 @@ StreamResult run_job_stream(StreamPolicy policy,
                 "run_job_stream: stream failed to complete");
   }
 
-  SimTime first_submit = plan.front().arrival;
+  // Makespan from *actual* submits: under backlog the first job can submit
+  // later than plan.front().arrival (retry path), and retries can reorder
+  // submissions, so the earliest submit is a min over jobs — the planned
+  // arrival would silently absorb queueing delay into the makespan.
+  SimTime first_submit = result.jobs.front().submitted;
   SimTime last_finish = 0.0;
   for (const auto& job : result.jobs) {
+    first_submit = std::min(first_submit, job.submitted);
     last_finish = std::max(last_finish, job.submitted + job.duration);
   }
   result.makespan = last_finish - first_submit;

@@ -10,13 +10,16 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/online_trainer.hpp"
 #include "core/scheduler.hpp"
 #include "exp/envgen.hpp"
 #include "exp/scenario.hpp"
+#include "k8s/scheduler.hpp"
 #include "ml/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace lts::exp {
 
@@ -45,18 +48,34 @@ struct StreamOptions {
   /// kModel policy ignores this entirely, and the pre-drawn job/arrival
   /// plan is policy-independent either way.
   core::RetrainOptions retrain;
+  /// Placement retry cap per job. A backlogged job re-tries every 5 s like
+  /// a pending pod; one that is still unplaceable after this many deferrals
+  /// is permanently infeasible, and the stream fails loudly naming the job,
+  /// its config, and the per-node rejection reasons from the last
+  /// scheduling attempt — instead of spinning until the opaque drain guard
+  /// kills the whole run. 240 retries = 20 simulated minutes of backlog.
+  int max_placement_retries = 240;
 };
 
 struct StreamJobResult {
   std::string scenario_id;
   std::string driver_node;
+  /// Pre-drawn arrival instant (when the job *asked* to run).
+  SimTime planned_arrival = 0.0;
+  /// Actual submission instant: the first time placement succeeded. Under
+  /// backlog this is later than planned_arrival (retry path).
   SimTime submitted = 0.0;
+  /// submitted - planned_arrival: time spent waiting for capacity.
+  SimTime queueing_delay = 0.0;
   double duration = 0.0;
+  /// Placement attempts deferred before this job was placed.
+  int placement_retries = 0;
 };
 
 struct StreamResult {
   std::vector<StreamJobResult> jobs;
-  /// Last completion minus first submission.
+  /// Last completion minus first *actual* submission. Queueing delay ahead
+  /// of the first submit is reported per job, not silently absorbed here.
   double makespan = 0.0;
   /// kModelRetrain only: version serving at stream end (0 = the initial
   /// model was never replaced), every retrain attempt in order, and the
@@ -75,5 +94,24 @@ StreamResult run_job_stream(StreamPolicy policy,
                             std::shared_ptr<const ml::Regressor> model,
                             const std::vector<Scenario>& matrix,
                             const StreamOptions& options);
+
+/// Stream progress counters against the global obs registry. With a tenant
+/// name they carry a `tenant=` label so concurrent tenant streams keep
+/// separate retry/completion series; an empty name yields the unlabeled
+/// series the single-tenant runner has always reported. References stay
+/// valid for the registry's lifetime — never shared global state.
+struct StreamCounters {
+  obs::Counter& jobs_completed;
+  obs::Counter& placement_retries;
+};
+StreamCounters stream_counters(const std::string& tenant = {});
+
+/// Human-readable per-node rejection reasons of a scheduling attempt, one
+/// "\n  node: reason" line each (empty result explained too). Used by the
+/// bounded-retry failure paths of both stream runners.
+std::string describe_rejections(const k8s::ScheduleResult& result);
+
+/// One-line human-readable job-config summary for diagnostics.
+std::string describe_job_config(const spark::JobConfig& config);
 
 }  // namespace lts::exp

@@ -1,0 +1,248 @@
+#include "tenant/drf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lts::tenant {
+
+namespace {
+
+/// Componentwise deficit of `demand` over `supply`, clamped at zero.
+k8s::Resources deficit(const k8s::Resources& demand,
+                       const k8s::Resources& supply) {
+  return {std::max(0.0, demand.cpu - supply.cpu),
+          std::max(0.0, demand.memory - supply.memory)};
+}
+
+bool is_zero(const k8s::Resources& r) {
+  return r.cpu <= 0.0 && r.memory <= 0.0;
+}
+
+}  // namespace
+
+DrfAllocator::DrfAllocator(std::vector<TenantSpec> tenants,
+                           k8s::Resources capacity)
+    : capacity_(capacity) {
+  LTS_REQUIRE(!tenants.empty(), "DrfAllocator: no tenants");
+  LTS_REQUIRE(capacity_.cpu > 0.0 && capacity_.memory > 0.0,
+              "DrfAllocator: capacity must be positive");
+  for (auto& spec : tenants) {
+    LTS_REQUIRE(!spec.name.empty(), "DrfAllocator: tenant name empty");
+    LTS_REQUIRE(spec.weight > 0.0,
+                "DrfAllocator: tenant " + spec.name + " weight must be > 0");
+    LTS_REQUIRE(spec.quota.fits_within(capacity_),
+                "DrfAllocator: tenant " + spec.name + " quota exceeds capacity");
+    const std::string name = spec.name;
+    const bool inserted =
+        tenants_.emplace(name, TenantState{std::move(spec), {}, {}, 0.0})
+            .second;
+    LTS_REQUIRE(inserted, "DrfAllocator: duplicate tenant " + name);
+  }
+}
+
+const DrfAllocator::TenantState& DrfAllocator::state(
+    const std::string& name) const {
+  const auto it = tenants_.find(name);
+  LTS_REQUIRE(it != tenants_.end(), "DrfAllocator: unknown tenant " + name);
+  return it->second;
+}
+
+DrfAllocator::TenantState& DrfAllocator::state(const std::string& name) {
+  const auto it = tenants_.find(name);
+  LTS_REQUIRE(it != tenants_.end(), "DrfAllocator: unknown tenant " + name);
+  return it->second;
+}
+
+void DrfAllocator::charge(const std::string& tenant, const std::string& job,
+                          const k8s::Resources& used, QosClass qos,
+                          int priority, SimTime now) {
+  integrate_to(now);
+  TenantState& t = state(tenant);
+  LTS_REQUIRE(t.jobs.find(job) == t.jobs.end(),
+              "DrfAllocator: job " + tenant + "/" + job + " already charged");
+  t.jobs.emplace(job, JobAlloc{used, qos, priority});
+  t.usage = t.usage + used;
+}
+
+void DrfAllocator::release(const std::string& tenant, const std::string& job,
+                           SimTime now) {
+  integrate_to(now);
+  TenantState& t = state(tenant);
+  const auto it = t.jobs.find(job);
+  LTS_REQUIRE(it != t.jobs.end(),
+              "DrfAllocator: job " + tenant + "/" + job + " not charged");
+  t.usage = t.usage - it->second.used;
+  t.jobs.erase(it);
+}
+
+const k8s::Resources& DrfAllocator::usage(const std::string& tenant) const {
+  return state(tenant).usage;
+}
+
+std::size_t DrfAllocator::num_jobs(const std::string& tenant) const {
+  return state(tenant).jobs.size();
+}
+
+QosClass DrfAllocator::job_qos(const std::string& tenant,
+                               const std::string& job) const {
+  const TenantState& t = state(tenant);
+  const auto it = t.jobs.find(job);
+  LTS_REQUIRE(it != t.jobs.end(),
+              "DrfAllocator: job " + tenant + "/" + job + " not charged");
+  return it->second.qos;
+}
+
+double DrfAllocator::dominant_share(const std::string& tenant) const {
+  const TenantState& t = state(tenant);
+  const double raw = std::max(t.usage.cpu / capacity_.cpu,
+                              t.usage.memory / capacity_.memory);
+  return raw / t.spec.weight;
+}
+
+QosClass DrfAllocator::classify(const std::string& tenant,
+                                const k8s::Resources& demand) const {
+  const TenantState& t = state(tenant);
+  return (t.usage + demand).fits_within(t.spec.quota) ? QosClass::kGuaranteed
+                                                      : QosClass::kBestEffort;
+}
+
+std::vector<std::string> DrfAllocator::offer_order(
+    std::vector<std::string> candidates) const {
+  std::vector<std::pair<double, std::string>> keyed;
+  keyed.reserve(candidates.size());
+  for (auto& name : candidates) {
+    const double share = dominant_share(name);
+    keyed.emplace_back(share, std::move(name));
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::string> ordered;
+  ordered.reserve(keyed.size());
+  for (auto& [share, name] : keyed) ordered.push_back(std::move(name));
+  return ordered;
+}
+
+std::vector<PreemptionVictim> DrfAllocator::plan_preemption(
+    const std::string& tenant, const k8s::Resources& demand,
+    const k8s::Resources& free) const {
+  state(tenant);  // validate the claimant exists
+  k8s::Resources needed = deficit(demand, free);
+  if (is_zero(needed)) return {};
+
+  // Candidate victims: BestEffort jobs of over-quota tenants. Eviction
+  // order is lowest priority first, ties by (tenant, job) name, so the plan
+  // is a pure function of the accounting state.
+  struct Candidate {
+    int priority;
+    std::string tenant;
+    std::string job;
+    k8s::Resources used;
+  };
+  std::vector<Candidate> candidates;
+  // Hypothetical usage while the plan evicts: a victim tenant is protected
+  // again the moment planned evictions bring it back within quota.
+  std::map<std::string, k8s::Resources> hypothetical;
+  for (const auto& [name, t] : tenants_) {
+    if (name == tenant) continue;
+    if (t.usage.fits_within(t.spec.quota)) continue;
+    hypothetical.emplace(name, t.usage);
+    for (const auto& [job, alloc] : t.jobs) {
+      if (alloc.qos != QosClass::kBestEffort) continue;
+      candidates.push_back(Candidate{alloc.priority, name, job, alloc.used});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.priority != b.priority) return a.priority < b.priority;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.job < b.job;
+            });
+
+  std::vector<PreemptionVictim> plan;
+  for (const auto& c : candidates) {
+    if (is_zero(needed)) break;
+    k8s::Resources& victim_usage = hypothetical.at(c.tenant);
+    if (victim_usage.fits_within(state(c.tenant).spec.quota)) continue;
+    plan.push_back(PreemptionVictim{c.tenant, c.job});
+    victim_usage = victim_usage - c.used;
+    needed = deficit(needed, c.used);
+  }
+  if (!is_zero(needed)) return {};  // cannot cover: evict nothing
+  return plan;
+}
+
+std::vector<PreemptionVictim> DrfAllocator::preemption_candidates(
+    const std::string& tenant) const {
+  state(tenant);  // validate the claimant exists
+  struct Candidate {
+    int priority;
+    std::string tenant;
+    std::string job;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [name, t] : tenants_) {
+    if (name == tenant) continue;
+    if (t.usage.fits_within(t.spec.quota)) continue;
+    for (const auto& [job, alloc] : t.jobs) {
+      if (alloc.qos != QosClass::kBestEffort) continue;
+      candidates.push_back(Candidate{alloc.priority, name, job});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.priority != b.priority) return a.priority < b.priority;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.job < b.job;
+            });
+  std::vector<PreemptionVictim> out;
+  out.reserve(candidates.size());
+  for (auto& c : candidates) {
+    out.push_back(PreemptionVictim{std::move(c.tenant), std::move(c.job)});
+  }
+  return out;
+}
+
+double DrfAllocator::share_integral(const std::string& tenant) const {
+  return state(tenant).share_integral;
+}
+
+double DrfAllocator::time_averaged_jain() const {
+  return busy_time_ > 0.0 ? jain_integral_ / busy_time_ : 1.0;
+}
+
+void DrfAllocator::integrate_to(SimTime now) {
+  LTS_REQUIRE(now >= integrated_to_,
+              "DrfAllocator: time moved backwards in integrate_to");
+  const SimTime dt = now - integrated_to_;
+  if (dt > 0.0) {
+    std::vector<double> shares;
+    shares.reserve(tenants_.size());
+    for (auto& [name, t] : tenants_) {
+      const double share = dominant_share(name);
+      t.share_integral += share * dt;
+      shares.push_back(share);
+    }
+    const bool busy =
+        std::any_of(shares.begin(), shares.end(),
+                    [](double s) { return s > 0.0; });
+    if (busy) {
+      jain_integral_ += jain_index(shares) * dt;
+      busy_time_ += dt;
+    }
+  }
+  integrated_to_ = now;
+}
+
+double jain_index(const std::vector<double>& xs) {
+  LTS_REQUIRE(!xs.empty(), "jain_index: empty input");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    LTS_REQUIRE(x >= 0.0, "jain_index: negative allocation");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace lts::tenant

@@ -1,0 +1,156 @@
+// Two-level scheduling, level one: a Mesos-inspired resource-offer
+// allocator with weighted dominant-resource fairness (DRF) across tenants.
+//
+// The allocator never places pods itself. It keeps per-tenant accounting
+// (usage, dominant share, quota headroom), decides *which tenant is offered
+// free capacity next* (hungriest first — the DRF invariant), and plans
+// guaranteed-quota preemption: when a within-quota job cannot fit, it names
+// the over-quota BestEffort victims to evict, deterministically,
+// lowest-priority-first. Each tenant's own scheduler (the learned
+// network-aware ranking, or a baseline policy) then accepts or declines the
+// offer — the framework/allocator split of the Mesos two-level model.
+//
+// Everything here is a pure function of the call sequence: std::map keyed
+// state, name-ordered tie-breaks, no clocks, no hashing. The tenant stream
+// runner depends on that for plan-identical policy comparisons.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "k8s/resources.hpp"
+#include "util/common.hpp"
+
+namespace lts::tenant {
+
+struct TenantSpec {
+  std::string name;
+  /// DRF weight: the tenant's dominant share is divided by this before
+  /// comparison, so a weight-2 tenant is entitled to twice the share
+  /// before it stops being "hungriest".
+  double weight = 1.0;
+  /// Guaranteed quota: a job admitted while the tenant's total usage
+  /// (including the job) stays within this floor is kGuaranteed and may
+  /// preempt over-quota BestEffort jobs. Zero = purely best-effort tenant.
+  k8s::Resources quota;
+};
+
+/// Kubernetes-flavored QoS: kGuaranteed jobs sit inside their tenant's
+/// quota and are never evicted; kBestEffort jobs ride on spare capacity and
+/// are fair game for preemption while their tenant is over quota.
+enum class QosClass { kGuaranteed, kBestEffort };
+
+struct PreemptionVictim {
+  std::string tenant;
+  std::string job;
+};
+
+class DrfAllocator {
+ public:
+  /// `capacity` is the cluster-wide allocatable total the shares are
+  /// measured against. Tenant names must be unique, weights positive, and
+  /// quotas within capacity.
+  DrfAllocator(std::vector<TenantSpec> tenants, k8s::Resources capacity);
+
+  /// Accounts a placed job. `priority`: preemption evicts lowest-priority
+  /// victims first (ties broken by tenant then job name). `now` advances
+  /// the share-time integrals.
+  void charge(const std::string& tenant, const std::string& job,
+              const k8s::Resources& used, QosClass qos, int priority,
+              SimTime now);
+  /// Releases a completed or evicted job's accounting. Unknown jobs throw.
+  void release(const std::string& tenant, const std::string& job,
+               SimTime now);
+
+  const k8s::Resources& capacity() const { return capacity_; }
+  const k8s::Resources& usage(const std::string& tenant) const;
+  std::size_t num_jobs(const std::string& tenant) const;
+  QosClass job_qos(const std::string& tenant, const std::string& job) const;
+
+  /// Weighted dominant share (the DRF ordering key): the maximum over
+  /// resources of usage/capacity, divided by the tenant's weight.
+  double dominant_share(const std::string& tenant) const;
+
+  /// QoS class a new job of `demand` would be admitted at right now:
+  /// kGuaranteed iff usage + demand still fits within the tenant's quota.
+  QosClass classify(const std::string& tenant,
+                    const k8s::Resources& demand) const;
+
+  /// Offer order for the next allocation round: `candidates` sorted
+  /// hungriest first (lowest weighted dominant share, ties by name). The
+  /// allocator offers free capacity to the front tenant first; a tenant
+  /// that declines (cannot use the offer) passes it down the list.
+  std::vector<std::string> offer_order(
+      std::vector<std::string> candidates) const;
+
+  /// Plans evictions so `tenant`'s within-quota job of `demand` can fit,
+  /// given `free` unallocated capacity: candidates are BestEffort jobs of
+  /// tenants currently over quota, taken lowest-priority-first (ties by
+  /// tenant then job name); a victim tenant drops out of consideration as
+  /// soon as the planned evictions bring it within quota. Returns the
+  /// victim list, or empty if even evicting every candidate cannot cover
+  /// the deficit (nothing is evicted speculatively).
+  std::vector<PreemptionVictim> plan_preemption(
+      const std::string& tenant, const k8s::Resources& demand,
+      const k8s::Resources& free) const;
+
+  /// Every job `tenant` could legally evict right now — BestEffort jobs of
+  /// other, currently over-quota tenants — in eviction order (lowest
+  /// priority first, ties by tenant then job name). plan_preemption is the
+  /// aggregate-capacity planner; this raw list is for the runner's
+  /// fragmentation escalation: when the aggregate already covers the
+  /// demand but per-node packing still fails, it evicts candidates one at
+  /// a time (re-querying after each, so a tenant dropping back within
+  /// quota regains protection immediately).
+  std::vector<PreemptionVictim> preemption_candidates(
+      const std::string& tenant) const;
+
+  /// ∫ dominant_share dt since construction: each tenant's share-time
+  /// footprint (how much of the cluster it held, for how long).
+  double share_integral(const std::string& tenant) const;
+  /// Time-averaged instantaneous Jain index over the tenants' weighted
+  /// dominant shares, taken across busy time (instants where any tenant
+  /// held resources). This is the run-level fairness number: totals of
+  /// share_integral are fixed by the workload (every job eventually runs),
+  /// but *when* each tenant got its share is exactly what an offer policy
+  /// controls — FIFO lets one tenant monopolize during a burst (low
+  /// instantaneous Jain), DRF interleaves (high). 1.0 if never busy.
+  double time_averaged_jain() const;
+  /// Advances the share-time integrals to `now`. charge/release do this
+  /// implicitly; call once more at stream end to close the horizon.
+  void integrate_to(SimTime now);
+
+ private:
+  struct JobAlloc {
+    k8s::Resources used;
+    QosClass qos = QosClass::kBestEffort;
+    int priority = 0;
+  };
+  struct TenantState {
+    TenantSpec spec;
+    k8s::Resources usage;
+    std::map<std::string, JobAlloc> jobs;
+    double share_integral = 0.0;
+  };
+
+  const TenantState& state(const std::string& name) const;
+  TenantState& state(const std::string& name);
+
+  k8s::Resources capacity_;
+  std::map<std::string, TenantState> tenants_;
+  SimTime integrated_to_ = 0.0;
+  /// ∫ Jain(weighted shares) dt and ∫ dt, over busy instants only. Shares
+  /// are piecewise constant between charge/release calls, so these sums
+  /// are exact.
+  double jain_integral_ = 0.0;
+  SimTime busy_time_ = 0.0;
+};
+
+/// Jain's fairness index over nonnegative allocations:
+/// (Σx)² / (n · Σx²), in (0, 1]; 1 = perfectly equal shares. An all-zero
+/// input returns 1 (nothing was divided unfairly). Throws on empty input
+/// or negative entries.
+double jain_index(const std::vector<double>& xs);
+
+}  // namespace lts::tenant

@@ -1,0 +1,579 @@
+#include "tenant/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/job_builder.hpp"
+#include "core/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "spark/runtime.hpp"
+#include "spark/workloads.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+namespace lts::tenant {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// FNV-1a over the tenant name: a stable, platform-independent salt for the
+/// per-tenant RNG streams (std::hash would not be reproducible).
+std::uint64_t name_salt(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Total requests of one job's pods: the quantity DRF accounts per tenant.
+k8s::Resources job_demand(const spark::JobConfig& config) {
+  const double e = static_cast<double>(config.executors);
+  return {config.driver_cores + e * config.executor_cores,
+          config.driver_memory + e * config.executor_memory};
+}
+
+}  // namespace
+
+std::vector<SimTime> draw_arrivals(int num_jobs, const ArrivalOptions& options,
+                                   Rng& rng, SimTime start) {
+  LTS_REQUIRE(num_jobs >= 1, "draw_arrivals: num_jobs >= 1");
+  LTS_REQUIRE(options.mean_interarrival > 0.0,
+              "draw_arrivals: mean_interarrival > 0");
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(num_jobs));
+  SimTime t = start;
+  switch (options.process) {
+    case ArrivalProcess::kExponential:
+      for (int j = 0; j < num_jobs; ++j) {
+        t += rng.exponential(options.mean_interarrival);
+        arrivals.push_back(t);
+      }
+      break;
+    case ArrivalProcess::kBursty: {
+      LTS_REQUIRE(options.burst_size >= 1, "draw_arrivals: burst_size >= 1");
+      LTS_REQUIRE(options.burst_spacing >= 0.0,
+                  "draw_arrivals: burst_spacing >= 0");
+      // Bursts of `burst_size` jobs `burst_spacing` apart; burst gaps are
+      // exponential with mean burst_size * mean_interarrival so the
+      // long-run arrival rate matches the exponential process.
+      const SimTime gap_mean =
+          static_cast<SimTime>(options.burst_size) * options.mean_interarrival;
+      while (static_cast<int>(arrivals.size()) < num_jobs) {
+        t += rng.exponential(gap_mean);
+        SimTime at = t;
+        for (int b = 0;
+             b < options.burst_size &&
+             static_cast<int>(arrivals.size()) < num_jobs;
+             ++b) {
+          arrivals.push_back(at);
+          at += options.burst_spacing;
+        }
+        t = std::max(t, at - options.burst_spacing);
+      }
+      break;
+    }
+    case ArrivalProcess::kDiurnal: {
+      LTS_REQUIRE(options.diurnal_amplitude >= 0.0 &&
+                      options.diurnal_amplitude < 1.0,
+                  "draw_arrivals: diurnal_amplitude in [0, 1)");
+      LTS_REQUIRE(options.diurnal_period > 0.0,
+                  "draw_arrivals: diurnal_period > 0");
+      // Rate-modulated renewal process: the instantaneous rate factor is
+      // 1 + A * sin(2*pi*t/P), so gaps shrink at the daily peak and stretch
+      // in the trough while the long-run mean gap stays mean_interarrival.
+      for (int j = 0; j < num_jobs; ++j) {
+        const double factor =
+            1.0 + options.diurnal_amplitude *
+                      std::sin(2.0 * kPi * t / options.diurnal_period);
+        t += rng.exponential(options.mean_interarrival) / factor;
+        arrivals.push_back(t);
+      }
+      break;
+    }
+  }
+  // Strictly increasing, so same-tenant arrival events keep queue order.
+  for (std::size_t j = 1; j < arrivals.size(); ++j) {
+    if (arrivals[j] <= arrivals[j - 1]) {
+      arrivals[j] = arrivals[j - 1] + 1e-9;
+    }
+  }
+  return arrivals;
+}
+
+TenantStreamsResult run_tenant_streams(const std::vector<exp::Scenario>& matrix,
+                                       const TenantStreamsOptions& options) {
+  LTS_REQUIRE(!options.tenants.empty(), "run_tenant_streams: no tenants");
+  LTS_REQUIRE(options.max_placement_retries >= 1,
+              "run_tenant_streams: max_placement_retries >= 1");
+  LTS_REQUIRE(options.retry_delay > 0.0,
+              "run_tenant_streams: retry_delay > 0");
+  for (const auto& t : options.tenants) {
+    LTS_REQUIRE(t.num_jobs >= 1, "run_tenant_streams: tenant " + t.spec.name +
+                                     " num_jobs >= 1");
+    LTS_REQUIRE(t.policy != exp::StreamPolicy::kModelRetrain,
+                "run_tenant_streams: kModelRetrain is single-tenant only");
+    if (t.policy == exp::StreamPolicy::kModel) {
+      LTS_REQUIRE(t.model != nullptr && t.model->is_fitted(),
+                  "run_tenant_streams: tenant " + t.spec.name +
+                      " uses kModel but has no fitted model");
+    }
+  }
+
+  exp::SimEnv env(options.seed, options.env);
+
+  // DRF shares are measured against the cluster-wide allocatable total.
+  k8s::Resources capacity;
+  for (const auto& node : env.api().nodes()) {
+    capacity = capacity + node.allocatable;
+  }
+  std::vector<TenantSpec> specs;
+  specs.reserve(options.tenants.size());
+  for (const auto& t : options.tenants) specs.push_back(t.spec);
+  DrfAllocator alloc(std::move(specs), capacity);
+
+  struct PlannedJob {
+    const exp::Scenario* scenario = nullptr;
+    SimTime arrival = 0.0;
+    std::uint64_t job_seed = 0;
+    std::uint64_t random_draw = 0;  // kRandom's pre-drawn pick
+  };
+
+  // Per-tenant runtime state. The plan — arrivals, scenarios, seeds, the
+  // kRandom draw — is a function of (options.seed, tenant name, arrival
+  // options, matrix) only: identical across sharing modes and across every
+  // tenant's level-two policy, so fairness comparisons hold the workload
+  // fixed. std::map keys the pump's iteration by tenant name (ordered).
+  struct TenantRun {
+    const TenantStreamOptions* options = nullptr;
+    TenantStreamResult* result = nullptr;
+    std::vector<PlannedJob> plan;
+    /// Job indices awaiting placement, kept sorted ascending (= arrival
+    /// order; preempted jobs re-enter at their original position).
+    std::vector<std::size_t> pending;
+    std::vector<std::unique_ptr<spark::SparkApp>> apps;
+    std::vector<std::vector<std::string>> bound;  // live pod names per job
+    std::unique_ptr<core::LtsScheduler> scheduler;  // kModel only
+    exp::StreamCounters counters;
+    obs::Counter* preemptions = nullptr;
+  };
+
+  TenantStreamsResult result;
+  result.tenants.resize(options.tenants.size());
+
+  std::map<std::string, TenantRun> runs;
+  int remaining = 0;
+  SimTime last_arrival = 0.0;
+  for (std::size_t i = 0; i < options.tenants.size(); ++i) {
+    const TenantStreamOptions& topt = options.tenants[i];
+    const std::string& name = topt.spec.name;
+    TenantStreamResult& tres = result.tenants[i];
+    tres.tenant = name;
+    tres.jobs.resize(static_cast<std::size_t>(topt.num_jobs));
+
+    auto [it, inserted] = runs.emplace(
+        name, TenantRun{&topt, &tres, {}, {}, {}, {}, nullptr,
+                        exp::stream_counters(name), nullptr});
+    LTS_REQUIRE(inserted, "run_tenant_streams: duplicate tenant " + name);
+    TenantRun& run = it->second;
+    run.preemptions = &obs::counter(
+        "lts_tenant_preemptions_total", {{"tenant", name}},
+        "Jobs preempted (cancelled and re-queued) while over quota");
+
+    Rng rng(options.seed ^ name_salt(name) ^ 0x57AE57AEULL);
+    const auto arrivals = draw_arrivals(topt.num_jobs, topt.arrivals, rng,
+                                        options.env.warmup);
+    const std::uint64_t tenant_seed = options.seed ^ name_salt(name);
+    run.plan.reserve(arrivals.size());
+    for (std::size_t j = 0; j < arrivals.size(); ++j) {
+      run.plan.push_back(PlannedJob{
+          &exp::sample_scenario(matrix, rng), arrivals[j],
+          tenant_seed * 1000003ULL + static_cast<std::uint64_t>(j), rng()});
+      tres.jobs[j].planned_arrival = arrivals[j];
+      last_arrival = std::max(last_arrival, arrivals[j]);
+    }
+    run.apps.resize(arrivals.size());
+    run.bound.resize(arrivals.size());
+    if (topt.policy == exp::StreamPolicy::kModel) {
+      run.scheduler = std::make_unique<core::LtsScheduler>(
+          core::TelemetryFetcher(env.tsdb(), env.node_names(),
+                                 options.env.snapshot),
+          topt.model, options.features);
+    }
+    remaining += topt.num_jobs;
+  }
+
+  obs::Counter& offer_rounds_counter =
+      obs::counter("lts_tenant_offer_rounds_total", {},
+                   "Two-level allocation rounds with at least one offer");
+
+  // ---- the allocation pump ----------------------------------------------
+  // One pump = repeated allocation rounds until a full round places
+  // nothing. Each round offers the free nodes to tenants hungriest-first
+  // (kDrf) or to the globally earliest pending job (kFifo), head-of-queue
+  // only per tenant; a tenant that cannot use the offer passes it on.
+  // Pumps fire on arrivals, completions, evictions, and the 5 s retry tick
+  // — deferral counting (and the bounded-retry failure) happens only on
+  // arrival/tick pumps, so opportunistic re-checks after completions do not
+  // inflate the retry budget.
+  bool tick_scheduled = false;
+  std::function<void(bool)> pump;
+
+  auto free_capacity = [&] {
+    k8s::Resources free;
+    for (const auto& node : env.api().nodes()) {
+      if (!node.ready) continue;
+      const k8s::Resources headroom = node.allocatable - node.requested;
+      free.cpu += std::max(0.0, headroom.cpu);
+      free.memory += std::max(0.0, headroom.memory);
+    }
+    return free;
+  };
+
+  auto offered_nodes = [&] {
+    std::vector<std::string> offered;
+    for (const auto& node : env.api().nodes()) {
+      const k8s::Resources headroom = node.allocatable - node.requested;
+      if (node.ready && headroom.cpu > 0.0 && headroom.memory > 0.0) {
+        offered.push_back(node.name);
+      }
+    }
+    return offered;
+  };
+
+  auto job_key = [](std::size_t j) { return strformat("job-%06zu", j); };
+
+  // Cancels a running job, releases its pods and accounting, and re-queues
+  // it at its original position in the tenant's queue.
+  auto evict = [&](const PreemptionVictim& victim) {
+    TenantRun& run = runs.at(victim.tenant);
+    const std::size_t j = std::stoul(victim.job.substr(4));
+    LTS_ASSERT(run.apps[j] != nullptr);
+    run.apps[j]->cancel();
+    run.apps[j].reset();
+    for (const auto& pod : run.bound[j]) env.api().remove_pod(pod);
+    run.bound[j].clear();
+    alloc.release(victim.tenant, victim.job, env.engine().now());
+    run.pending.insert(
+        std::lower_bound(run.pending.begin(), run.pending.end(), j), j);
+    ++run.result->jobs[j].preemptions;
+    ++run.result->preemptions_suffered;
+    ++result.total_preemptions;
+    run.preemptions->inc();
+  };
+
+  // Attempts to place tenant `name`'s job `j` right now. On success the
+  // job's pods are bound, its usage charged, and its app submitted. Returns
+  // false if the offer could not be used; `count_failure` then decides
+  // whether this counts against the job's retry budget.
+  auto try_place = [&](const std::string& name, std::size_t j,
+                       bool count_failure) -> bool {
+    TenantRun& run = runs.at(name);
+    const PlannedJob& planned = run.plan[j];
+    const spark::JobConfig& config = planned.scenario->config;
+    const k8s::Resources demand = job_demand(config);
+    const QosClass qos = alloc.classify(name, demand);
+    // Newest-first eviction among a tenant's own jobs: later jobs carry
+    // lower priority.
+    const int priority = -static_cast<int>(j);
+    const std::string pod_prefix =
+        strformat("%s-%zu-%.0f", name.c_str(), j, env.engine().now());
+
+    k8s::ScheduleResult last_attempt;
+    // Placement loop. The first iteration is a straight attempt; for a
+    // Guaranteed job under kDrf on a *counted* attempt, failures escalate
+    // through evictions — first the aggregate preemption plan, then, if
+    // aggregate free capacity covers the demand but per-node packing still
+    // fails (fragmentation: evicted 1-core pods leave holes a bigger
+    // executor cannot use), one remaining candidate at a time. Each
+    // iteration either returns, breaks, or evicts at least one charged
+    // job, so the loop terminates. Gating on count_failure matters for
+    // liveness: an uncounted pump round that evicted without placing would
+    // let the victim re-place into the freed hole in the same round,
+    // restoring the exact prior state — an infinite allocation loop at one
+    // simulated instant. Counted attempts happen at most once per retry
+    // tick, so eviction work is paced by simulated time and the bounded
+    // retry budget still catches a genuinely unplaceable guaranteed job.
+    bool bulk_planned = false;
+    for (;;) {
+      const auto offered = offered_nodes();
+      bool placed = false;
+      if (offered.empty()) {
+        last_attempt = {};
+        for (const auto& node : env.node_names()) {
+          last_attempt.rejected.emplace_back(
+              node, "not offered: no unreserved capacity");
+        }
+      } else {
+        const std::set<std::string> offer_set(offered.begin(), offered.end());
+        std::string driver;
+        bool have_driver = false;
+        switch (run.options->policy) {
+          case exp::StreamPolicy::kModel: {
+            telemetry::ClusterSnapshot snapshot =
+                *run.scheduler->fetcher().fetch_shared(env.engine().now());
+            snapshot.nodes.erase(
+                std::remove_if(snapshot.nodes.begin(), snapshot.nodes.end(),
+                               [&](const telemetry::NodeTelemetry& n) {
+                                 return offer_set.count(n.node) == 0;
+                               }),
+                snapshot.nodes.end());
+            const auto decision =
+                run.scheduler
+                    ->schedule_many_from_snapshot(snapshot, {&config, 1})
+                    .front();
+            driver = decision.selected();
+            have_driver = true;
+            break;
+          }
+          case exp::StreamPolicy::kKubeDefault: {
+            auto pod = core::JobBuilder::driver_pod(config, pod_prefix, "");
+            pod.node_affinity = k8s::NodeAffinity{offered};
+            const auto ranking = env.kube_scheduler().schedule(pod);
+            if (!ranking.feasible()) {
+              last_attempt = ranking;
+            } else {
+              driver = ranking.selected();
+              have_driver = true;
+            }
+            break;
+          }
+          case exp::StreamPolicy::kRandom:
+            driver = offered[planned.random_draw % offered.size()];
+            have_driver = true;
+            break;
+          case exp::StreamPolicy::kModelRetrain:
+            LTS_ASSERT(false);  // rejected at options validation
+        }
+
+        if (have_driver) {
+          // Bind driver (pinned) and executors (default scheduler within
+          // the offer); unwind everything on the first infeasibility.
+          auto bound = std::make_shared<std::vector<std::string>>();
+          const auto driver_pod =
+              core::JobBuilder::driver_pod(config, pod_prefix, driver);
+          const auto driver_fit = env.kube_scheduler().schedule(driver_pod);
+          if (!driver_fit.feasible()) {
+            last_attempt = driver_fit;
+          } else {
+            env.api().bind(driver_pod, driver);
+            bound->push_back(driver_pod.name);
+            const std::size_t driver_node = env.cluster().node_index(driver);
+            std::vector<std::size_t> executor_nodes;
+            bool executors_ok = true;
+            for (int e = 0; e < config.executors; ++e) {
+              auto pod = core::JobBuilder::executor_pod(config, pod_prefix, e);
+              pod.node_affinity = k8s::NodeAffinity{offered};
+              const auto where = env.kube_scheduler().schedule(pod);
+              if (!where.feasible()) {
+                for (const auto& p : *bound) env.api().remove_pod(p);
+                last_attempt = where;
+                executors_ok = false;
+                break;
+              }
+              env.api().bind(pod, where.selected());
+              bound->push_back(pod.name);
+              executor_nodes.push_back(
+                  env.cluster().node_index(where.selected()));
+            }
+            if (executors_ok) {
+              run.bound[j] = *bound;
+              alloc.charge(name, job_key(j), demand, qos, priority,
+                           env.engine().now());
+              Rng dag_rng(planned.job_seed * 0x2545f4914f6cdd1dULL + 0x9e37);
+              auto dag = spark::build_dag(config, dag_rng,
+                                          env.options().workload_cost);
+              Rng app_rng(planned.job_seed * 0xda942042e4dd58b5ULL + 0x7f4a);
+              run.apps[j] = std::make_unique<spark::SparkApp>(
+                  env.cluster(), config, std::move(dag), driver_node,
+                  executor_nodes, app_rng, env.options().runtime);
+              run.apps[j]->submit(
+                  [&, name, j](const spark::AppResult& app_result) {
+                    TenantRun& r = runs.at(name);
+                    TenantJobResult& job = r.result->jobs[j];
+                    job.scenario_id = r.plan[j].scenario->id;
+                    job.driver_node = app_result.driver_node;
+                    job.submitted = app_result.submit_time;
+                    job.queueing_delay =
+                        app_result.submit_time - job.planned_arrival;
+                    job.duration = app_result.duration();
+                    for (const auto& pod : r.bound[j]) {
+                      env.api().remove_pod(pod);
+                    }
+                    r.bound[j].clear();
+                    alloc.release(name, job_key(j), env.engine().now());
+                    r.counters.jobs_completed.inc();
+                    --remaining;
+                    // Freed capacity: run another allocation round, but
+                    // never from inside the completion callback (the app
+                    // must not be replaced while its own frame is live).
+                    env.engine().schedule_in(0.0, [&] { pump(false); });
+                  });
+              placed = true;
+            }
+          }
+        }
+      }
+
+      if (placed) return true;
+      if (!count_failure || options.sharing != SharingMode::kDrf ||
+          qos != QosClass::kGuaranteed) {
+        break;
+      }
+      const k8s::Resources free = free_capacity();
+      if (!bulk_planned) {
+        bulk_planned = true;
+        const auto victims = alloc.plan_preemption(name, demand, free);
+        if (!victims.empty()) {
+          for (const auto& victim : victims) evict(victim);
+          continue;  // retry against the freed capacity
+        }
+      }
+      if (demand.cpu > free.cpu || demand.memory > free.memory) {
+        break;  // genuinely insufficient: nothing left worth evicting
+      }
+      // Aggregate capacity covers the demand yet packing failed —
+      // fragmentation. Evict the next candidate (re-queried each time, so
+      // a tenant dropping back within quota regains protection) and retry.
+      const auto candidates = alloc.preemption_candidates(name);
+      if (candidates.empty()) break;
+      evict(candidates.front());
+    }
+
+    if (count_failure) {
+      TenantJobResult& job = run.result->jobs[j];
+      ++job.placement_retries;
+      run.counters.placement_retries.inc();
+      if (job.placement_retries > options.max_placement_retries) {
+        throw Error(
+            strformat("run_tenant_streams: tenant %s job %zu (%s) still "
+                      "unplaceable after %d retries [%s]; per-node "
+                      "rejections of the last attempt:",
+                      name.c_str(), j, run.plan[j].scenario->id.c_str(),
+                      options.max_placement_retries,
+                      exp::describe_job_config(config).c_str()) +
+            exp::describe_rejections(last_attempt));
+      }
+    }
+    return false;
+  };
+
+  pump = [&](bool count_failures) {
+    for (int round = 0;; ++round) {
+      std::vector<std::string> hungry;
+      for (const auto& [name, run] : runs) {
+        if (!run.pending.empty()) hungry.push_back(name);
+      }
+      if (hungry.empty()) break;
+      ++result.offer_rounds;
+      offer_rounds_counter.inc();
+
+      std::vector<std::string> order;
+      if (options.sharing == SharingMode::kDrf) {
+        order = alloc.offer_order(std::move(hungry));
+      } else {
+        // Unweighted FIFO: the offer goes to the tenant whose head-of-queue
+        // job has waited longest, regardless of shares.
+        order = std::move(hungry);
+        std::sort(order.begin(), order.end(),
+                  [&](const std::string& a, const std::string& b) {
+                    const TenantRun& ra = runs.at(a);
+                    const TenantRun& rb = runs.at(b);
+                    const SimTime aa =
+                        ra.plan[ra.pending.front()].arrival;
+                    const SimTime ab =
+                        rb.plan[rb.pending.front()].arrival;
+                    if (aa != ab) return aa < ab;
+                    return a < b;
+                  });
+      }
+
+      bool progress = false;
+      for (const auto& name : order) {
+        TenantRun& run = runs.at(name);
+        if (run.pending.empty()) continue;  // drained by a preemption requeue
+        const std::size_t j = run.pending.front();
+        if (try_place(name, j, count_failures && round == 0)) {
+          run.pending.erase(run.pending.begin());
+          progress = true;
+        }
+      }
+      if (!progress) break;
+    }
+
+    bool backlog = false;
+    for (const auto& [name, run] : runs) backlog |= !run.pending.empty();
+    if (backlog && !tick_scheduled) {
+      tick_scheduled = true;
+      env.engine().schedule_in(options.retry_delay, [&] {
+        tick_scheduled = false;
+        pump(true);
+      });
+    }
+  };
+
+  for (auto& [name, run] : runs) {
+    for (std::size_t j = 0; j < run.plan.size(); ++j) {
+      env.engine().schedule_at(run.plan[j].arrival, [&, &run = run, j] {
+        run.pending.insert(
+            std::lower_bound(run.pending.begin(), run.pending.end(), j), j);
+        pump(true);
+      });
+    }
+  }
+
+  while (remaining > 0) {
+    LTS_REQUIRE(env.engine().step(),
+                "run_tenant_streams: engine drained early");
+    LTS_REQUIRE(env.engine().now() < last_arrival + 14400.0,
+                "run_tenant_streams: streams failed to complete");
+  }
+
+  alloc.integrate_to(env.engine().now());
+  for (auto& tres : result.tenants) {
+    tres.share_integral = alloc.share_integral(tres.tenant);
+    SimTime first_submit = tres.jobs.front().submitted;
+    SimTime last_finish = 0.0;
+    for (const auto& job : tres.jobs) {
+      first_submit = std::min(first_submit, job.submitted);
+      last_finish = std::max(last_finish, job.submitted + job.duration);
+    }
+    tres.makespan = last_finish - first_submit;
+    result.horizon = std::max(result.horizon, last_finish);
+  }
+  result.jain_share = alloc.time_averaged_jain();
+  return result;
+}
+
+std::vector<TenantSummary> summarize_tenants(
+    const TenantStreamsResult& result) {
+  std::vector<TenantSummary> summaries;
+  summaries.reserve(result.tenants.size());
+  for (const auto& tres : result.tenants) {
+    TenantSummary s;
+    s.tenant = tres.tenant;
+    s.jobs = tres.jobs.size();
+    s.preemptions_suffered = tres.preemptions_suffered;
+    s.share_integral = tres.share_integral;
+    std::vector<double> durations;
+    std::vector<double> queueing;
+    for (const auto& job : tres.jobs) {
+      durations.push_back(job.duration);
+      queueing.push_back(job.queueing_delay);
+      s.placement_retries += static_cast<std::size_t>(job.placement_retries);
+    }
+    if (!durations.empty()) {
+      s.mean_jct = mean(durations);
+      s.p95_jct = percentile(durations, 95);
+      s.mean_queueing_delay = mean(queueing);
+      s.p95_queueing_delay = percentile(queueing, 95);
+    }
+    summaries.push_back(std::move(s));
+  }
+  return summaries;
+}
+
+}  // namespace lts::tenant

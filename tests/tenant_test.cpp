@@ -1,0 +1,371 @@
+// Tests for the multi-tenant two-level scheduling layer: weighted DRF
+// accounting, offer ordering, guaranteed-quota preemption planning, the
+// arrival generators, and the tenant stream runner end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/scenario.hpp"
+#include "tenant/drf.hpp"
+#include "tenant/stream.hpp"
+
+namespace lts {
+namespace {
+
+constexpr Bytes kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// ------------------------------------------------------------ DRF math ----
+
+tenant::DrfAllocator two_tenant_alloc() {
+  return tenant::DrfAllocator(
+      {{"a", 1.0, {4.0, 40.0}}, {"b", 2.0, {0.0, 0.0}}}, {10.0, 100.0});
+}
+
+TEST(Drf, DominantShareIsWeightedMaxOverResources) {
+  auto alloc = two_tenant_alloc();
+  alloc.charge("a", "j0", {4.0, 20.0}, tenant::QosClass::kGuaranteed, 0, 0.0);
+  // cpu 4/10 = 0.4 dominates memory 20/100 = 0.2; weight 1.
+  EXPECT_DOUBLE_EQ(alloc.dominant_share("a"), 0.4);
+  alloc.charge("b", "j0", {2.0, 60.0}, tenant::QosClass::kBestEffort, 0, 0.0);
+  // memory 60/100 = 0.6 dominates cpu 2/10 = 0.2; weight 2 halves it.
+  EXPECT_DOUBLE_EQ(alloc.dominant_share("b"), 0.3);
+}
+
+TEST(Drf, ChargeAndReleaseTrackUsage) {
+  auto alloc = two_tenant_alloc();
+  alloc.charge("a", "j0", {2.0, 10.0}, tenant::QosClass::kGuaranteed, 0, 0.0);
+  alloc.charge("a", "j1", {1.0, 5.0}, tenant::QosClass::kBestEffort, -1, 0.0);
+  EXPECT_DOUBLE_EQ(alloc.usage("a").cpu, 3.0);
+  EXPECT_EQ(alloc.num_jobs("a"), 2u);
+  EXPECT_EQ(alloc.job_qos("a", "j1"), tenant::QosClass::kBestEffort);
+  alloc.release("a", "j0", 1.0);
+  EXPECT_DOUBLE_EQ(alloc.usage("a").cpu, 1.0);
+  EXPECT_THROW(alloc.release("a", "j0", 2.0), Error);       // already gone
+  EXPECT_THROW(alloc.charge("a", "j1", {}, tenant::QosClass::kBestEffort, 0,
+                            2.0),
+               Error);                                      // duplicate
+  EXPECT_THROW(alloc.usage("nope"), Error);                 // unknown tenant
+}
+
+TEST(Drf, ConstructorValidates) {
+  using A = tenant::DrfAllocator;
+  EXPECT_THROW(A({}, {10.0, 10.0}), Error);
+  EXPECT_THROW(A({{"a", 0.0, {}}}, {10.0, 10.0}), Error);   // weight
+  EXPECT_THROW(A({{"a", 1.0, {20.0, 0.0}}}, {10.0, 10.0}), Error);  // quota
+  EXPECT_THROW(A({{"a", 1.0, {}}, {"a", 1.0, {}}}, {10.0, 10.0}), Error);
+}
+
+TEST(Drf, ClassifyAgainstQuota) {
+  auto alloc = two_tenant_alloc();
+  // Tenant a has quota {4, 40}: a 3-cpu job fits -> Guaranteed.
+  EXPECT_EQ(alloc.classify("a", {3.0, 10.0}), tenant::QosClass::kGuaranteed);
+  alloc.charge("a", "j0", {3.0, 10.0}, tenant::QosClass::kGuaranteed, 0, 0.0);
+  // A second 3-cpu job would exceed the 4-cpu quota -> BestEffort.
+  EXPECT_EQ(alloc.classify("a", {3.0, 10.0}), tenant::QosClass::kBestEffort);
+  // Tenant b has a zero quota: everything is BestEffort.
+  EXPECT_EQ(alloc.classify("b", {0.5, 1.0}), tenant::QosClass::kBestEffort);
+}
+
+TEST(Drf, OfferOrderHungriestFirstTiesByName) {
+  tenant::DrfAllocator alloc(
+      {{"x", 1.0, {}}, {"y", 1.0, {}}, {"z", 1.0, {}}}, {10.0, 100.0});
+  alloc.charge("y", "j0", {6.0, 10.0}, tenant::QosClass::kBestEffort, 0, 0.0);
+  alloc.charge("z", "j0", {2.0, 10.0}, tenant::QosClass::kBestEffort, 0, 0.0);
+  const auto order = alloc.offer_order({"x", "y", "z"});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "x");  // share 0
+  EXPECT_EQ(order[1], "z");  // share 0.2
+  EXPECT_EQ(order[2], "y");  // share 0.6
+  // Equal shares: name order.
+  tenant::DrfAllocator tie({{"n2", 1.0, {}}, {"n1", 1.0, {}}}, {10.0, 10.0});
+  const auto tied = tie.offer_order({"n2", "n1"});
+  EXPECT_EQ(tied.front(), "n1");
+}
+
+TEST(Drf, PlanPreemptionLowestPriorityFirstDeterministicTies) {
+  tenant::DrfAllocator alloc(
+      {{"vip", 1.0, {6.0, 60.0}}, {"b", 1.0, {}}, {"c", 1.0, {}}},
+      {10.0, 100.0});
+  // b and c are over their (zero) quotas with BestEffort jobs.
+  alloc.charge("b", "j0", {2.0, 10.0}, tenant::QosClass::kBestEffort, 0, 0.0);
+  alloc.charge("b", "j1", {3.0, 10.0}, tenant::QosClass::kBestEffort, -1, 0.0);
+  alloc.charge("c", "j0", {2.0, 10.0}, tenant::QosClass::kBestEffort, 0, 0.0);
+  // Deficit of 3 cpu: the priority -1 job goes first and covers it alone.
+  auto plan = alloc.plan_preemption("vip", {4.0, 10.0}, {1.0, 70.0});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].tenant, "b");
+  EXPECT_EQ(plan[0].job, "j1");
+  // Deficit of 6 cpu: then the priority-0 tie breaks by tenant name (b
+  // before c).
+  plan = alloc.plan_preemption("vip", {6.0, 10.0}, {0.0, 70.0});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].job, "j1");
+  EXPECT_EQ(plan[1].tenant, "b");
+  EXPECT_EQ(plan[1].job, "j0");
+  EXPECT_EQ(plan[2].tenant, "c");
+}
+
+TEST(Drf, PlanPreemptionProtectsWithinQuotaAndGuaranteed) {
+  tenant::DrfAllocator alloc(
+      {{"vip", 1.0, {8.0, 80.0}}, {"b", 1.0, {2.0, 20.0}}}, {10.0, 100.0});
+  alloc.charge("b", "g", {2.0, 10.0}, tenant::QosClass::kGuaranteed, 0, 0.0);
+  alloc.charge("b", "e0", {3.0, 10.0}, tenant::QosClass::kBestEffort, -1, 0.0);
+  alloc.charge("b", "e1", {3.0, 10.0}, tenant::QosClass::kBestEffort, -2, 0.0);
+  // Evicting e1 (lowest priority) brings b to {5,20}; still over its 2-cpu
+  // quota, so e0 is fair game too. The Guaranteed job never is.
+  const auto plan = alloc.plan_preemption("vip", {7.0, 10.0}, {1.0, 70.0});
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].job, "e1");
+  EXPECT_EQ(plan[1].job, "e0");
+  // A tenant back within quota drops out: deficit 1 cpu needs only e1.
+  const auto small = alloc.plan_preemption("vip", {2.0, 10.0}, {1.0, 70.0});
+  ASSERT_EQ(small.size(), 1u);
+  EXPECT_EQ(small[0].job, "e1");
+}
+
+TEST(Drf, PlanPreemptionEmptyWhenInsufficient) {
+  auto alloc = two_tenant_alloc();
+  alloc.charge("b", "j0", {2.0, 10.0}, tenant::QosClass::kBestEffort, 0, 0.0);
+  // Even evicting everything cannot cover a 9-cpu deficit: evict nothing.
+  EXPECT_TRUE(alloc.plan_preemption("a", {9.0, 10.0}, {0.0, 0.0}).empty());
+  // No deficit at all: nothing to evict either.
+  EXPECT_TRUE(alloc.plan_preemption("a", {1.0, 10.0}, {5.0, 50.0}).empty());
+}
+
+TEST(Drf, ShareIntegralsAndTimeAveragedJain) {
+  tenant::DrfAllocator alloc({{"a", 1.0, {}}, {"b", 1.0, {}}},
+                             {10.0, 100.0});
+  alloc.charge("a", "j", {5.0, 10.0}, tenant::QosClass::kBestEffort, 0, 0.0);
+  alloc.charge("b", "j", {5.0, 10.0}, tenant::QosClass::kBestEffort, 0, 10.0);
+  alloc.release("a", "j", 20.0);
+  alloc.release("b", "j", 20.0);
+  alloc.integrate_to(30.0);
+  EXPECT_DOUBLE_EQ(alloc.share_integral("a"), 0.5 * 20.0);
+  EXPECT_DOUBLE_EQ(alloc.share_integral("b"), 0.5 * 10.0);
+  // [0,10): only a busy, Jain = 0.5; [10,20): equal shares, Jain = 1;
+  // [20,30): idle, excluded. Average = 0.75.
+  EXPECT_DOUBLE_EQ(alloc.time_averaged_jain(), 0.75);
+  EXPECT_THROW(alloc.integrate_to(5.0), Error);  // time moved backwards
+}
+
+TEST(Drf, JainIndexProperties) {
+  EXPECT_DOUBLE_EQ(tenant::jain_index({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(tenant::jain_index({1.0, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tenant::jain_index({0.0, 0.0}), 1.0);
+  EXPECT_THROW(tenant::jain_index({}), Error);
+  EXPECT_THROW(tenant::jain_index({1.0, -0.5}), Error);
+}
+
+// --------------------------------------------------- arrival generators ----
+
+TEST(Arrivals, AllProcessesStrictlyIncreasingAndDeterministic) {
+  for (const auto process :
+       {tenant::ArrivalProcess::kExponential, tenant::ArrivalProcess::kBursty,
+        tenant::ArrivalProcess::kDiurnal}) {
+    tenant::ArrivalOptions options;
+    options.process = process;
+    Rng rng1(42), rng2(42);
+    const auto a = tenant::draw_arrivals(20, options, rng1, 40.0);
+    const auto b = tenant::draw_arrivals(20, options, rng2, 40.0);
+    ASSERT_EQ(a.size(), 20u);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.front(), 40.0);
+    for (std::size_t j = 1; j < a.size(); ++j) EXPECT_GT(a[j], a[j - 1]);
+  }
+}
+
+TEST(Arrivals, BurstyJobsArriveBackToBack) {
+  tenant::ArrivalOptions options;
+  options.process = tenant::ArrivalProcess::kBursty;
+  options.burst_size = 4;
+  options.burst_spacing = 2.0;
+  Rng rng(7);
+  const auto a = tenant::draw_arrivals(8, options, rng, 0.0);
+  // Within each burst, consecutive arrivals sit burst_spacing apart.
+  for (const std::size_t j : {1u, 2u, 3u, 5u, 6u, 7u}) {
+    EXPECT_DOUBLE_EQ(a[j] - a[j - 1], 2.0) << j;
+  }
+  // The burst gap is a fresh exponential draw, not the spacing.
+  EXPECT_GT(a[4] - a[3], 0.0);
+}
+
+// ------------------------------------------------------- tenant streams ----
+
+tenant::TenantStreamsOptions small_mix(std::uint64_t seed) {
+  tenant::TenantStreamsOptions options;
+  options.seed = seed;
+  options.tenants.resize(2);
+  options.tenants[0].spec.name = "alpha";
+  options.tenants[0].policy = exp::StreamPolicy::kKubeDefault;
+  options.tenants[0].num_jobs = 3;
+  options.tenants[0].arrivals.mean_interarrival = 10.0;
+  options.tenants[1].spec.name = "beta";
+  options.tenants[1].spec.weight = 2.0;
+  options.tenants[1].policy = exp::StreamPolicy::kRandom;
+  options.tenants[1].num_jobs = 3;
+  options.tenants[1].arrivals.process = tenant::ArrivalProcess::kBursty;
+  options.tenants[1].arrivals.mean_interarrival = 15.0;
+  options.tenants[1].arrivals.burst_size = 3;
+  return options;
+}
+
+TEST(TenantStream, RunsAllJobsUnderBothSharingModes) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(8);
+  for (const auto sharing :
+       {tenant::SharingMode::kFifo, tenant::SharingMode::kDrf}) {
+    auto options = small_mix(21);
+    options.sharing = sharing;
+    const auto result = tenant::run_tenant_streams(matrix, options);
+    ASSERT_EQ(result.tenants.size(), 2u);
+    for (const auto& tres : result.tenants) {
+      ASSERT_EQ(tres.jobs.size(), 3u);
+      for (const auto& job : tres.jobs) {
+        EXPECT_GT(job.duration, 1.0);
+        EXPECT_FALSE(job.driver_node.empty());
+        EXPECT_FALSE(job.scenario_id.empty());
+        EXPECT_GE(job.submitted, job.planned_arrival);
+        EXPECT_DOUBLE_EQ(job.queueing_delay,
+                         job.submitted - job.planned_arrival);
+      }
+      EXPECT_GT(tres.makespan, 0.0);
+      EXPECT_GT(tres.share_integral, 0.0);
+    }
+    EXPECT_GT(result.jain_share, 0.0);
+    EXPECT_LE(result.jain_share, 1.0);
+    EXPECT_GT(result.offer_rounds, 0);
+    const auto summaries = tenant::summarize_tenants(result);
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_GT(summaries[0].mean_jct, 0.0);
+  }
+}
+
+TEST(TenantStream, PlanIdenticalAcrossSharingModesAndPolicies) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(8);
+  auto fifo = small_mix(33);
+  fifo.sharing = tenant::SharingMode::kFifo;
+  auto drf = small_mix(33);
+  drf.sharing = tenant::SharingMode::kDrf;
+  // Also flip a tenant's level-two policy: the plan must not notice.
+  drf.tenants[1].policy = exp::StreamPolicy::kKubeDefault;
+  const auto a = tenant::run_tenant_streams(matrix, fifo);
+  const auto b = tenant::run_tenant_streams(matrix, drf);
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    for (std::size_t j = 0; j < a.tenants[t].jobs.size(); ++j) {
+      EXPECT_EQ(a.tenants[t].jobs[j].scenario_id,
+                b.tenants[t].jobs[j].scenario_id);
+      EXPECT_DOUBLE_EQ(a.tenants[t].jobs[j].planned_arrival,
+                       b.tenants[t].jobs[j].planned_arrival);
+    }
+  }
+}
+
+TEST(TenantStream, DeterministicForSeed) {
+  auto matrix = exp::paper_scenario_matrix();
+  matrix.resize(8);
+  auto options = small_mix(55);
+  options.sharing = tenant::SharingMode::kDrf;
+  const auto a = tenant::run_tenant_streams(matrix, options);
+  const auto b = tenant::run_tenant_streams(matrix, options);
+  EXPECT_DOUBLE_EQ(a.jain_share, b.jain_share);
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    for (std::size_t j = 0; j < a.tenants[t].jobs.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.tenants[t].jobs[j].duration,
+                       b.tenants[t].jobs[j].duration);
+      EXPECT_DOUBLE_EQ(a.tenants[t].jobs[j].submitted,
+                       b.tenants[t].jobs[j].submitted);
+    }
+  }
+}
+
+TEST(TenantStream, ValidatesOptions) {
+  const auto matrix = exp::paper_scenario_matrix();
+  tenant::TenantStreamsOptions options;
+  EXPECT_THROW(tenant::run_tenant_streams(matrix, options), Error);
+  options = small_mix(1);
+  options.tenants[0].policy = exp::StreamPolicy::kModelRetrain;
+  EXPECT_THROW(tenant::run_tenant_streams(matrix, options), Error);
+  options = small_mix(1);
+  options.tenants[0].policy = exp::StreamPolicy::kModel;  // no model given
+  EXPECT_THROW(tenant::run_tenant_streams(matrix, options), Error);
+  options = small_mix(1);
+  options.tenants[1].spec.name = "alpha";  // duplicate
+  EXPECT_THROW(tenant::run_tenant_streams(matrix, options), Error);
+}
+
+// A saturating best-effort burst against a guaranteed tenant: DRF must
+// preempt the newest hog job (deterministically) and spare the vip, while
+// FIFO never preempts at all.
+tenant::TenantStreamsOptions preemption_mix(std::uint64_t seed) {
+  tenant::TenantStreamsOptions options;
+  options.seed = seed;
+  options.tenants.resize(2);
+  tenant::TenantStreamOptions& hog = options.tenants[0];
+  hog.spec.name = "hog";  // zero quota: all jobs BestEffort
+  hog.policy = exp::StreamPolicy::kKubeDefault;
+  hog.num_jobs = 12;
+  hog.arrivals.process = tenant::ArrivalProcess::kBursty;
+  hog.arrivals.mean_interarrival = 0.5;
+  hog.arrivals.burst_size = 12;
+  hog.arrivals.burst_spacing = 0.1;
+  tenant::TenantStreamOptions& vip = options.tenants[1];
+  vip.spec.name = "vip";
+  vip.spec.quota = {9.0, 6.0 * kGiB};
+  vip.policy = exp::StreamPolicy::kKubeDefault;
+  vip.num_jobs = 2;
+  vip.arrivals.mean_interarrival = 30.0;
+  return options;
+}
+
+std::vector<exp::Scenario> preemption_matrix() {
+  // One big-demand scenario for the vip (9 cpu) and one standard hog job
+  // (4 cpu): the hog burst saturates the 33-core cluster, so the vip's
+  // aggregate deficit is real and preemption must fire.
+  exp::Scenario hog_job;
+  hog_job.id = "hog-sort";
+  hog_job.config.app = spark::AppType::kSort;
+  hog_job.config.input_records = 1000000;
+  exp::Scenario vip_job = hog_job;
+  vip_job.id = "vip-sort";
+  vip_job.config.executors = 4;
+  vip_job.config.executor_cores = 2.0;
+  return {hog_job, vip_job};
+}
+
+TEST(TenantStream, GuaranteedQuotaPreemptsBestEffortDeterministically) {
+  // Both tenants sample the 2-entry matrix; every job needs at least 4
+  // cores, so the 12-job burst saturates the 33-core cluster whatever the
+  // draw, and the vip's deficit is an aggregate one — preemption territory.
+  const auto matrix = preemption_matrix();
+  auto drf = preemption_mix(91);
+  drf.sharing = tenant::SharingMode::kDrf;
+  const auto with_drf = tenant::run_tenant_streams(matrix, drf);
+  EXPECT_GE(with_drf.total_preemptions, 1);
+  EXPECT_GE(with_drf.tenants[0].preemptions_suffered, 1);
+  EXPECT_EQ(with_drf.tenants[1].preemptions_suffered, 0);
+  // The preempted hog jobs still complete (re-queued and restarted).
+  for (const auto& job : with_drf.tenants[0].jobs) {
+    EXPECT_GT(job.duration, 0.0);
+  }
+
+  auto fifo = preemption_mix(91);
+  fifo.sharing = tenant::SharingMode::kFifo;
+  const auto with_fifo = tenant::run_tenant_streams(matrix, fifo);
+  EXPECT_EQ(with_fifo.total_preemptions, 0);
+  for (const auto& tres : with_fifo.tenants) {
+    EXPECT_EQ(tres.preemptions_suffered, 0);
+  }
+
+  // Determinism of the eviction path: an identical DRF run preempts the
+  // same jobs the same number of times.
+  const auto again = tenant::run_tenant_streams(matrix, drf);
+  EXPECT_EQ(with_drf.total_preemptions, again.total_preemptions);
+  for (std::size_t j = 0; j < with_drf.tenants[0].jobs.size(); ++j) {
+    EXPECT_EQ(with_drf.tenants[0].jobs[j].preemptions,
+              again.tenants[0].jobs[j].preemptions);
+  }
+}
+
+}  // namespace
+}  // namespace lts

@@ -39,8 +39,8 @@ const std::vector<Rule>& rule_registry() {
        check_determinism},
       {{"R2", "unordered-containers",
         "no std::unordered_map/set in determinism-critical dirs (simcore, "
-        "net, core, cluster, spark), including iteration over a companion "
-        "header's unordered members",
+        "net, core, cluster, spark, tenant), including iteration over a "
+        "companion header's unordered members",
         "Hash-iteration order is implementation-defined; if it reaches "
         "event dispatch, scheduling decisions, or telemetry output, replay "
         "diverges across standard libraries and ASLR runs.",

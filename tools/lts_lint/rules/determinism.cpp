@@ -19,7 +19,7 @@ bool r1_scope(const std::string& p) {
 
 bool r2_scope(const std::string& p) {
   return under_any(p, {"src/simcore/", "src/net/", "src/core/",
-                       "src/cluster/", "src/spark/"});
+                       "src/cluster/", "src/spark/", "src/tenant/"});
 }
 
 }  // namespace

@@ -21,7 +21,8 @@ namespace {
 
 bool r7_scope(const std::string& p) {
   return under_any(p, {"src/simcore/", "src/net/", "src/core/",
-                       "src/cluster/", "src/spark/", "src/ml/"});
+                       "src/cluster/", "src/spark/", "src/ml/",
+                       "src/tenant/"});
 }
 
 /// Names declared with a floating-point scalar type on `code`, appended to
